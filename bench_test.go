@@ -1,0 +1,362 @@
+// Package repro benchmarks regenerate the reproduction's experiments as
+// testing.B benchmarks — one per experiment of DESIGN.md's index (the
+// paper is theory, so the "tables" are its worked derivations; see
+// EXPERIMENTS.md for the measured outputs).
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/colorred"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/independence"
+	"repro/internal/matching"
+	"repro/internal/problems"
+	"repro/internal/sim"
+	"repro/internal/solve"
+	"repro/internal/superweak"
+	"repro/internal/synth"
+)
+
+// BenchmarkE1SpeedupSinkless: one full speedup step on sinkless coloring
+// (the Section 4.4 fixed point), per Δ.
+func BenchmarkE1SpeedupSinkless(b *testing.B) {
+	for _, delta := range []int{3, 5, 8} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			p := problems.SinklessColoring(delta)
+			for i := 0; i < b.N; i++ {
+				derived, err := core.Speedup(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := core.Isomorphic(derived, p); !ok {
+					b.Fatal("fixed point lost")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2ColorReduction: the Section 4.5 derivation and hardening.
+func BenchmarkE2ColorReduction(b *testing.B) {
+	b.Run("halfstep-k4", func(b *testing.B) {
+		p := problems.KColoring(4, 2)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.HalfStep(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("verify-hardening-k4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := colorred.VerifyHardening(4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3SpeedupWeak2: the Section 4.6 derivation (7 labels → 9 node
+// configurations), per Δ.
+func BenchmarkE3SpeedupWeak2(b *testing.B) {
+	for _, delta := range []int{3, 4} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			p := problems.WeakTwoColoringPointer(delta)
+			for i := 0; i < b.N; i++ {
+				full, err := core.Speedup(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if full.Node.Size() != 9 {
+					b.Fatalf("expected 9 node configs, got %d", full.Node.Size())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4SuperweakHalf: the Section 5.1 half step (trit description).
+func BenchmarkE4SuperweakHalf(b *testing.B) {
+	for _, delta := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			p := problems.Superweak(2, delta)
+			for i := 0; i < b.N; i++ {
+				half, err := core.HalfStep(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if half.Alpha.Size() != 9 {
+					b.Fatalf("expected 9 trit labels, got %d", half.Alpha.Size())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4SuperweakFull: the full derivation at the enumerable Δ=3,
+// comparing both maximal-configuration strategies.
+func BenchmarkE4SuperweakFull(b *testing.B) {
+	half, err := superweak.TritHalfProblem(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []struct {
+		name string
+		st   core.Strategy
+	}{{"explore", core.StrategyExplore}, {"combine", core.StrategyCombine}} {
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SecondHalfStep(half, core.WithStrategy(s.st)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4Lemma2JStar: the Hall-violator machinery of Lemma 2 over all
+// (configuration, orientation) pairs of the enumerable instance.
+func BenchmarkE4Lemma2JStar(b *testing.B) {
+	half, err := superweak.TritHalfProblem(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := core.SecondHalfStep(half, core.WithStrategy(core.StrategyCombine))
+	if err != nil {
+		b.Fatal(err)
+	}
+	allOnes := func(l core.Label) bool {
+		target, _ := half.Alpha.Lookup("11")
+		prov, ok := full.Alpha.Provenance(l)
+		return ok && prov.Contains(int(target))
+	}
+	rel := map[[2]core.Label]bool{}
+	for _, cfg := range full.Edge.Configs() {
+		ls := cfg.Expand()
+		rel[[2]core.Label{ls[0], ls[1]}] = true
+		rel[[2]core.Label{ls[1], ls[0]}] = true
+	}
+	relFn := func(x, y core.Label) bool { return rel[[2]core.Label{x, y}] }
+	configs := full.Node.Configs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range configs {
+			pinf, ok := superweak.PInfOf(cfg, allOnes)
+			if !ok {
+				continue
+			}
+			q := cfg.Expand()
+			for mask := 0; mask < 8; mask++ {
+				out := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+				superweak.JStar(q, out, pinf, allOnes, relFn)
+			}
+		}
+	}
+}
+
+// BenchmarkE5StepTable: Theorem 4 step counting.
+func BenchmarkE5StepTable(b *testing.B) {
+	heights := []int{3, 7, 12, 17, 27, 52, 102}
+	for i := 0; i < b.N; i++ {
+		superweak.StepTable(heights)
+	}
+}
+
+// BenchmarkF1Independence: the exhaustive t-independence verification.
+func BenchmarkF1Independence(b *testing.B) {
+	g, err := graph.RingUniform(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	class := independence.OrientationClass(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := independence.CheckTIndependence(class, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF2SuperweakVerify: the Figure 2 style output verifier plus the
+// Lemma 3 transformation on the 3-cube.
+func BenchmarkF2SuperweakTransform(b *testing.B) {
+	half, err := superweak.TritHalfProblem(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := core.SecondHalfStep(half, core.WithStrategy(core.StrategyCombine))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bd := graph.NewBuilder(8)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4}, {0, 4}, {1, 5}, {2, 6}, {3, 7}} {
+		if err := bd.AddEdge(e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g := bd.Build()
+	// Restrict then solve once; benchmark the transformation itself.
+	sol := solveRestricted(b, g, half, full)
+	rng := rand.New(rand.NewSource(1))
+	orient := graph.RandomOrientation(g, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := superweak.Transform(g, orient, sol, half, full, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := superweak.VerifyOutput(g, out, g.MaxDegree()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkU1ColeVishkin: simulated ring 3-coloring end to end.
+func BenchmarkU1ColeVishkin(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			g, err := graph.Ring(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			orient, err := algorithms.RingOrientation(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids, err := graph.UniqueIDs(g, 4*n, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alg := algorithms.RingThreeColoring{IDSpace: 4 * n}
+			in := sim.Inputs{IDs: ids, Orientation: &orient}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := sim.Run(g, in, alg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.Verify(g, sol, problems.KColoring(3, 2)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkU1WeakTwoColoring: simulated odd-degree weak 2-coloring.
+func BenchmarkU1WeakTwoColoring(b *testing.B) {
+	for _, tc := range []struct{ n, delta int }{{20, 3}, {16, 5}} {
+		b.Run(fmt.Sprintf("n=%d,delta=%d", tc.n, tc.delta), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			g, err := graph.RandomRegular(tc.n, tc.delta, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids, err := graph.UniqueIDs(g, 2*tc.n, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alg := algorithms.WeakTwoColoring{IDSpace: 2 * tc.n}
+			in := sim.Inputs{IDs: ids}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := sim.Run(g, in, alg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.Verify(g, sol, problems.WeakTwoColoringPointer(tc.delta)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkU2Theorem1: the mechanized Theorem 1 equivalence at t=1 on a
+// fixed random problem.
+func BenchmarkU2Theorem1(b *testing.B) {
+	p := problems.KColoring(2, 2)
+	for i := 0; i < b.N; i++ {
+		derived, err := core.Speedup(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		one, err := synth.OneRoundOrientedSolvable(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, zero := core.ZeroRoundSolvableWithOrientation(derived)
+		if one != zero {
+			b.Fatal("equivalence violated")
+		}
+	}
+}
+
+// BenchmarkMatchingHopcroftKarp: the Lemma 2 substrate on random bipartite
+// graphs.
+func BenchmarkMatchingHopcroftKarp(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	bg := matching.NewBipartite(200, 200)
+	for u := 0; u < 200; u++ {
+		for v := 0; v < 200; v++ {
+			if rng.Intn(20) == 0 {
+				bg.AddEdge(u, v)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.MaxMatching(bg)
+	}
+}
+
+func solveRestricted(b *testing.B, g *graph.Graph, half, full *core.Problem) *sim.Solution {
+	b.Helper()
+	target, _ := half.Alpha.Lookup("11")
+	allOnes := func(l core.Label) bool {
+		prov, ok := full.Alpha.Provenance(l)
+		return ok && prov.Contains(int(target))
+	}
+	rel := map[[2]core.Label]bool{}
+	for _, cfg := range full.Edge.Configs() {
+		ls := cfg.Expand()
+		rel[[2]core.Label{ls[0], ls[1]}] = true
+		rel[[2]core.Label{ls[1], ls[0]}] = true
+	}
+	relFn := func(x, y core.Label) bool { return rel[[2]core.Label{x, y}] }
+	node := core.NewConstraint(full.Delta())
+	for _, cfg := range full.Node.Configs() {
+		pinf, ok := superweak.PInfOf(cfg, allOnes)
+		if !ok {
+			continue
+		}
+		q := cfg.Expand()
+		friendly := true
+		for mask := 0; mask < 1<<uint(full.Delta()) && friendly; mask++ {
+			out := make([]bool, full.Delta())
+			for i := range out {
+				out[i] = mask&(1<<uint(i)) != 0
+			}
+			if _, ok := superweak.JStar(q, out, pinf, allOnes, relFn); !ok {
+				friendly = false
+			}
+		}
+		if friendly {
+			node.MustAdd(cfg)
+		}
+	}
+	restricted, err := core.NewProblem(full.Alpha, full.Edge.Clone(), node)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, ok, err := solve.Solve(g, restricted, solve.Options{})
+	if err != nil || !ok {
+		b.Fatalf("restricted solve failed: ok=%v err=%v", ok, err)
+	}
+	return sol
+}

@@ -1,0 +1,109 @@
+// Command speedup applies the automatic speedup transformation of Brandt
+// (PODC 2019) to a problem given in the text format of core.Parse, read
+// from a file or stdin, and prints the derived problem(s).
+//
+// Usage:
+//
+//	speedup [-steps n] [-half] [-keep-names] [file]
+//
+// Example (sinkless coloring at Δ=3):
+//
+//	printf 'node:\n0^2 1\nedge:\n0 0\n0 1\n' | speedup -steps 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	steps := flag.Int("steps", 1, "number of full speedup steps to apply")
+	half := flag.Bool("half", false, "apply only the half step Π → Π'_1/2")
+	keepNames := flag.Bool("keep-names", false, "keep derived set-labels instead of renaming compactly")
+	flag.Parse()
+	if err := run(*steps, *half, *keepNames, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(1)
+	}
+}
+
+func run(steps int, half, keepNames bool, path string) error {
+	text, err := readInput(path)
+	if err != nil {
+		return err
+	}
+	p, err := core.Parse(text)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# input problem: Δ=%d, %d labels, %d edge configs, %d node configs\n",
+		p.Delta(), p.Alpha.Size(), p.Edge.Size(), p.Node.Size())
+
+	if half {
+		derived, err := core.HalfStep(p)
+		if err != nil {
+			return err
+		}
+		return printDerived(derived, keepNames, "Π'_1/2")
+	}
+	cur := p
+	for i := 1; i <= steps; i++ {
+		derived, err := core.Speedup(cur)
+		if err != nil {
+			return err
+		}
+		if err := printDerived(derived, keepNames, fmt.Sprintf("Π_%d", i)); err != nil {
+			return err
+		}
+		if m, ok := core.Isomorphic(derived, cur); ok {
+			_ = m
+			fmt.Println("# fixed point: derived problem is isomorphic to its predecessor")
+			break
+		}
+		if cfg, ok := core.ZeroRoundSolvableNoInput(derived); ok {
+			fmt.Printf("# 0-round solvable without input (witness %s)\n", cfg.String(derived.Alpha))
+			break
+		}
+		cur = derived
+		if !keepNames {
+			cur, _ = cur.RenameCompact()
+		}
+	}
+	return nil
+}
+
+func printDerived(p *core.Problem, keepNames bool, title string) error {
+	out := p
+	var backing map[string]string
+	if !keepNames {
+		out, backing = p.RenameCompact()
+	}
+	fmt.Printf("\n# %s: %d labels, %d edge configs, %d node configs\n",
+		title, out.Alpha.Size(), out.Edge.Size(), out.Node.Size())
+	if backing != nil {
+		for _, name := range out.Alpha.Names() {
+			fmt.Printf("# %s = %s\n", name, backing[name])
+		}
+	}
+	fmt.Print(out.String())
+	return nil
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

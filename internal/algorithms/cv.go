@@ -1,0 +1,131 @@
+// Package algorithms implements distributed algorithms in the port
+// numbering / LOCAL model for the problems the paper studies: Cole–Vishkin
+// color reduction and 3-coloring on oriented rings (the upper bound that
+// Section 4.5 recovers through the speedup theorem), odd-degree weak
+// 2-coloring (the Naor–Stockmeyer upper-bound side of Theorem 4), and a
+// centralized sinkless orientation baseline (Section 4.4's problem).
+//
+// All algorithms are presented in the normal form of Section 3: a round
+// count plus a function from radius-t views to per-port outputs, executed
+// by the sim package.
+package algorithms
+
+import (
+	"math/bits"
+)
+
+// cvStep performs one Cole–Vishkin color reduction step: given a node's
+// current color and its (chain-)parent's current color, both interpreted
+// as bit strings, it returns 2i + bit_i(c), where i is the lowest bit at
+// which they differ. If child and parent colors differ, so do the new
+// colors of any chain of nodes stepping simultaneously.
+func cvStep(c, parent uint64) uint64 {
+	diff := c ^ parent
+	if diff == 0 {
+		// Callers guarantee distinct colors; degrade deterministically
+		// rather than crash on misuse.
+		return c & 1
+	}
+	i := uint64(bits.TrailingZeros64(diff))
+	return 2*i + ((c >> i) & 1)
+}
+
+// cvIterations returns the number of cvStep iterations needed to bring
+// colors from {0..space-1} down to the fixed point {0..5}: the O(log*)
+// phase of Cole–Vishkin.
+func cvIterations(space int) int {
+	if space <= 6 {
+		return 0
+	}
+	iters := 0
+	s := uint64(space)
+	for s > 6 {
+		s = 2 * uint64(bits.Len64(s-1))
+		iters++
+		if iters > 64 {
+			// log* of any representable value is tiny; this is a guard
+			// against logic errors, not a reachable state.
+			panic("algorithms: cvIterations failed to converge")
+		}
+	}
+	return iters
+}
+
+// cvChainColor computes the color of chain position 0 after iters
+// simultaneous cvStep rounds, where chain[j] is the initial color (ID) of
+// the j-th node along the parent direction. The chain must have length at
+// least iters+1 and strictly pairwise-distinct adjacent entries.
+func cvChainColor(chain []uint64, iters int) uint64 {
+	cur := make([]uint64, len(chain))
+	copy(cur, chain)
+	for r := 0; r < iters; r++ {
+		for j := 0; j+1 < len(cur); j++ {
+			cur[j] = cvStep(cur[j], cur[j+1])
+		}
+		cur = cur[:len(cur)-1]
+	}
+	return cur[0]
+}
+
+// sixToThree reduces a proper coloring with colors {0..5} along a rooted
+// chain to {0..2} in three shift-and-recolor rounds. chain[j] is the
+// {0..5}-color of the j-th node along the parent direction (chain[0] is
+// the node of interest); the chain must extend at least 4 entries beyond
+// position 0 and be proper (adjacent entries distinct). It returns the
+// final color of position 0.
+//
+// Each round ρ = 0,1,2 removes color 5−ρ: every node first adopts its
+// parent's color (which makes all children of a node share its previous
+// color), then nodes holding the removed color pick the smallest color in
+// {0,1,2} differing from their parent's and children's current colors.
+func sixToThree(chain []uint64) uint64 {
+	cur := make([]uint64, len(chain))
+	copy(cur, chain)
+	for round := 0; round < 3; round++ {
+		removed := uint64(5 - round)
+		// Shift down: node j takes node j+1's color. The last entry has
+		// no parent in view; it is dropped (callers provide slack).
+		next := make([]uint64, len(cur)-1)
+		prevOwn := make([]uint64, len(cur)-1)
+		for j := 0; j+1 < len(cur); j++ {
+			next[j] = cur[j+1]
+			prevOwn[j] = cur[j]
+		}
+		// Recolor the removed class: avoid the (shifted) parent color and
+		// the children's current color, which after the shift equals the
+		// node's own pre-shift color.
+		for j := range next {
+			if next[j] != removed {
+				continue
+			}
+			parent := uint64(6) // sentinel: no constraint
+			if j+1 < len(next) {
+				parent = next[j+1]
+			}
+			for c := uint64(0); c <= 2; c++ {
+				if c != parent && c != prevOwn[j] {
+					next[j] = c
+					break
+				}
+			}
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// chainFinalColor composes the two phases: IDs along a parent chain →
+// proper 3-coloring. The chain must contain iters+5 entries (cvIterations
+// slack plus the 4 entries sixToThree consumes), with adjacent entries
+// distinct.
+func chainFinalColor(chain []uint64, iters int) uint64 {
+	// Phase 1 colors for positions 0..4 (each needs a window of iters+1).
+	phase1 := make([]uint64, 0, 5)
+	for j := 0; j < 5 && j+iters < len(chain); j++ {
+		phase1 = append(phase1, cvChainColor(chain[j:], iters))
+	}
+	return sixToThree(phase1)
+}
+
+// chainLen returns the chain length required by chainFinalColor.
+func chainLen(iters int) int { return iters + 5 }

@@ -1,0 +1,143 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// SinklessOrientationBaseline computes a sinkless orientation centrally:
+// every node of degree ≥ 1 receives at least one outgoing edge. It exists
+// whenever every connected component contains a cycle (in particular on
+// Δ-regular graphs with Δ ≥ 2), which the function verifies.
+//
+// This is the reference/baseline solver for the Section 4.4 problem: the
+// paper's Ω(log n) lower bound (reproduced in Experiment E1) says no
+// distributed algorithm can do this in o(log n) rounds, while the
+// centralized construction is trivial — orient each component's tree
+// edges toward a cycle and the cycle around itself.
+func SinklessOrientationBaseline(g *graph.Graph) (graph.Orientation, error) {
+	n := g.N()
+	o := graph.Orientation{Toward: make([]int, g.M())}
+	assigned := make([]bool, g.M())
+	visited := make([]bool, n)
+
+	for start := 0; start < n; start++ {
+		if visited[start] || g.Degree(start) == 0 {
+			continue
+		}
+		// Find a cycle in this component by DFS.
+		cycle, err := findCycle(g, start)
+		if err != nil {
+			return graph.Orientation{}, err
+		}
+		// Orient the cycle around itself.
+		onCycle := make(map[int]bool, len(cycle))
+		for _, v := range cycle {
+			onCycle[v] = true
+		}
+		for i := range cycle {
+			u, v := cycle[i], cycle[(i+1)%len(cycle)]
+			id, ok := g.EdgeBetween(u, v)
+			if !ok {
+				return graph.Orientation{}, fmt.Errorf("algorithms: cycle edge (%d,%d) missing", u, v)
+			}
+			o.Toward[id] = v
+			assigned[id] = true
+		}
+		// BFS from the cycle, orienting each discovered edge toward the
+		// BFS parent (i.e. toward the cycle), giving every off-cycle node
+		// an outgoing edge.
+		queue := make([]int, 0, n)
+		for _, v := range cycle {
+			visited[v] = true
+			queue = append(queue, v)
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for port := 0; port < g.Degree(v); port++ {
+				w, id, _ := g.Neighbor(v, port)
+				if visited[w] {
+					if !assigned[id] {
+						// Non-tree, non-cycle edge: orientation is free.
+						o.Toward[id] = v
+						assigned[id] = true
+					}
+					continue
+				}
+				visited[w] = true
+				o.Toward[id] = v // w → v: toward the cycle
+				assigned[id] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if !o.IsSinkless(g) {
+		return graph.Orientation{}, fmt.Errorf("algorithms: baseline produced a sink (component without a cycle?)")
+	}
+	return o, nil
+}
+
+// findCycle returns the vertex sequence of some cycle in the component of
+// start, or an error if the component is acyclic.
+func findCycle(g *graph.Graph, start int) ([]int, error) {
+	parent := make(map[int]int)
+	parentEdge := make(map[int]int)
+	parent[start] = -1
+	parentEdge[start] = -1
+	queue := []int{start}
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for port := 0; port < g.Degree(v); port++ {
+			w, id, _ := g.Neighbor(v, port)
+			if id == parentEdge[v] {
+				continue
+			}
+			if _, seen := parent[w]; !seen {
+				parent[w] = v
+				parentEdge[w] = id
+				queue = append(queue, w)
+				continue
+			}
+			// Found a cycle through v and w: splice the two root paths.
+			pathV := rootPath(parent, v)
+			pathW := rootPath(parent, w)
+			return spliceCycle(pathV, pathW), nil
+		}
+	}
+	return nil, fmt.Errorf("algorithms: component of node %d is acyclic; sinkless orientation impossible", start)
+}
+
+func rootPath(parent map[int]int, v int) []int {
+	var path []int
+	for v != -1 {
+		path = append(path, v)
+		v = parent[v]
+	}
+	return path
+}
+
+// spliceCycle combines two root paths meeting at their lowest common
+// ancestor into a cycle v ... lca ... w.
+func spliceCycle(pathV, pathW []int) []int {
+	onV := make(map[int]int, len(pathV))
+	for i, x := range pathV {
+		onV[x] = i
+	}
+	lcaW := 0
+	for i, x := range pathW {
+		if _, ok := onV[x]; ok {
+			lcaW = i
+			break
+		}
+	}
+	lcaV := onV[pathW[lcaW]]
+	cycle := make([]int, 0, lcaV+lcaW+2)
+	for i := 0; i <= lcaV; i++ {
+		cycle = append(cycle, pathV[i])
+	}
+	for i := lcaW - 1; i >= 0; i-- {
+		cycle = append(cycle, pathW[i])
+	}
+	return cycle
+}

@@ -1,0 +1,258 @@
+// Package colorred reproduces Section 4.5 of Brandt (PODC 2019): the
+// speedup transformation applied to k-coloring on rings yields — after
+// hardening the derived problem Π_1 to a subproblem Π_1* — the k'-coloring
+// problem with k' = 2^(C(k,k/2)/2), a doubly-exponential color reduction
+// per round, which implies the classic O(log* n) upper bound for
+// 3-coloring a ring (Cole–Vishkin, Goldberg et al.).
+package colorred
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/problems"
+)
+
+// KPrime returns k' = 2^(C(k,k/2)/2), the number of colors of the hardened
+// derived problem for even k ≥ 4 (Section 4.5). For k ≥ 6 the paper notes
+// k' ≥ 2^(2^(k/2)).
+func KPrime(k int) (*big.Int, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("colorred: k' defined for even k >= 4, got %d", k)
+	}
+	half := mathx.BinomialBig(k, k/2)
+	if !half.IsInt64() {
+		return nil, fmt.Errorf("colorred: C(%d,%d) overflows", k, k/2)
+	}
+	e := half.Int64() / 2
+	if e > 1<<20 {
+		return nil, fmt.Errorf("colorred: k' = 2^%d too large to materialize", e)
+	}
+	return mathx.Pow2(int(e)), nil
+}
+
+// ExpectedHalf returns the explicit form of the simplified derived problem
+// Π'_{1/2} of k-coloring given in the paper (for k = 4, and its natural
+// generalization): labels are the subsets Y of {1..k} with 1 ≤ |Y| ≤ k−1,
+// the edge constraint pairs each Y with its complement, and the node
+// constraint contains the pairs {Y, Z} with Y ∩ Z ≠ ∅.
+func ExpectedHalf(k int) (*core.Problem, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("colorred: need k >= 2, got %d", k)
+	}
+	if k > 16 {
+		return nil, fmt.Errorf("colorred: explicit half problem infeasible for k = %d", k)
+	}
+	var sets []bitset.Set
+	names := make([]string, 0, 1<<uint(k)-2)
+	for mask := 1; mask < 1<<uint(k)-1; mask++ {
+		s := bitset.New(k)
+		for b := 0; b < k; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				s.Add(b)
+			}
+		}
+		sets = append(sets, s)
+		names = append(names, subsetName(s))
+	}
+	alpha, err := core.NewAlphabet(names...)
+	if err != nil {
+		return nil, err
+	}
+	edge := core.NewConstraint(2)
+	node := core.NewConstraint(2)
+	index := map[string]core.Label{}
+	for i, s := range sets {
+		index[s.Key()] = core.Label(i)
+	}
+	for i, s := range sets {
+		comp := s.Complement()
+		if j, ok := index[comp.Key()]; ok {
+			edge.MustAdd(core.NewConfig(core.Label(i), j))
+		}
+		for j := i; j < len(sets); j++ {
+			if s.Intersects(sets[j]) {
+				node.MustAdd(core.NewConfig(core.Label(i), core.Label(j)))
+			}
+		}
+	}
+	return core.NewProblem(alpha, edge, node)
+}
+
+func subsetName(s bitset.Set) string {
+	name := ""
+	s.ForEach(func(i int) bool {
+		name += fmt.Sprintf("%d", i+1)
+		return true
+	})
+	return "Y" + name
+}
+
+// Family is a hardened label: a set of (k/2)-subsets of {1..k} containing,
+// for every (k/2)-subset Z, exactly one of Z and its complement.
+type Family struct {
+	Members []bitset.Set
+}
+
+// Families enumerates all 2^(C(k,k/2)/2) hardened labels for even k.
+// Feasible for k = 4 (8 families) and k = 6 (1024 families).
+func Families(k int) ([]Family, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("colorred: families defined for even k >= 4, got %d", k)
+	}
+	if k > 6 {
+		return nil, fmt.Errorf("colorred: explicit family enumeration infeasible for k = %d", k)
+	}
+	// Enumerate complementary pairs of (k/2)-subsets.
+	var pairs [][2]bitset.Set
+	seen := map[string]bool{}
+	enumerateSubsets(k, k/2, func(s bitset.Set) {
+		comp := s.Complement()
+		key := s.Key()
+		if comp.Key() < key {
+			key = comp.Key()
+		}
+		if !seen[key] {
+			seen[key] = true
+			pairs = append(pairs, [2]bitset.Set{s.Clone(), comp})
+		}
+	})
+	nf := 1 << uint(len(pairs))
+	out := make([]Family, 0, nf)
+	for mask := 0; mask < nf; mask++ {
+		members := make([]bitset.Set, len(pairs))
+		for i := range pairs {
+			members[i] = pairs[i][mask>>uint(i)&1]
+		}
+		out = append(out, Family{Members: members})
+	}
+	return out, nil
+}
+
+func enumerateSubsets(k, size int, fn func(bitset.Set)) {
+	s := bitset.New(k)
+	var rec func(start, remaining int)
+	rec = func(start, remaining int) {
+		if remaining == 0 {
+			fn(s)
+			return
+		}
+		for i := start; i+remaining <= k; i++ {
+			s.Add(i)
+			rec(i+1, remaining-1)
+			s.Remove(i)
+		}
+	}
+	rec(0, size)
+}
+
+// VerifyHardening checks the two properties of Section 4.5 establishing
+// that the family labels form a k'-coloring subproblem of the derived
+// problem Π_1:
+//
+//  1. any two distinct families contain complementary members, so
+//     {Y, Z} satisfies the (existential) edge constraint of Π_1; and
+//  2. within a single family any two members intersect, so {Y, Y}
+//     satisfies the (universal) node constraint of Π_1 on rings.
+//
+// It returns the number of families (= k') on success.
+func VerifyHardening(k int) (int, error) {
+	families, err := Families(k)
+	if err != nil {
+		return 0, err
+	}
+	for i := range families {
+		// Property 2: members pairwise intersect (they are never
+		// complementary, and two non-complementary (k/2)-subsets of a
+		// k-set must share an element).
+		for a := range families[i].Members {
+			for b := a + 1; b < len(families[i].Members); b++ {
+				if !families[i].Members[a].Intersects(families[i].Members[b]) {
+					return 0, fmt.Errorf("colorred: family %d: members %v and %v disjoint",
+						i, families[i].Members[a], families[i].Members[b])
+				}
+			}
+		}
+		// Property 1 against every other family.
+		for j := i + 1; j < len(families); j++ {
+			if !containComplementaryPair(families[i], families[j]) {
+				return 0, fmt.Errorf("colorred: families %d and %d have no complementary members", i, j)
+			}
+		}
+	}
+	return len(families), nil
+}
+
+func containComplementaryPair(a, b Family) bool {
+	for _, y := range a.Members {
+		comp := y.Complement()
+		for _, z := range b.Members {
+			if comp.Equal(z) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HardenedProblem returns the hardened derived problem Π_1* for even k,
+// which VerifyHardening proves is exactly k'-coloring on rings; the
+// returned problem is the clean k'-coloring formulation.
+func HardenedProblem(k int) (*core.Problem, int, error) {
+	kPrime, err := VerifyHardening(k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return problems.KColoring(kPrime, 2), kPrime, nil
+}
+
+// UpperBoundSteps returns the number of speedup-derived color-reduction
+// rounds needed to go from idSpace colors down to 4 colors on a ring:
+// the smallest r with F^r(4) ≥ idSpace, where F(k) = 2^(C(k,k/2)/2).
+// Since F is doubly exponential, the result is Θ(log* idSpace) — the
+// Cole–Vishkin bound recovered through the speedup theorem.
+func UpperBoundSteps(idSpace *big.Int) (int, error) {
+	if idSpace.Sign() <= 0 {
+		return 0, fmt.Errorf("colorred: id space must be positive")
+	}
+	k := big.NewInt(4)
+	steps := 0
+	for k.Cmp(idSpace) < 0 {
+		if steps > 64 {
+			return 0, fmt.Errorf("colorred: runaway iteration (internal error)")
+		}
+		next, err := applyF(k)
+		if err != nil {
+			return 0, err
+		}
+		k = next
+		steps++
+	}
+	return steps, nil
+}
+
+// applyF computes F(k) = 2^(C(k,k/2)/2) for the integer value of k,
+// rounding k down to the nearest even value ≥ 4 first (the construction
+// needs even k; discarding colors only helps).
+func applyF(k *big.Int) (*big.Int, error) {
+	if !k.IsInt64() || k.Int64() > 1<<20 {
+		// F(k) ≥ 2^(2^(k/2)) vastly exceeds any id space once k is this
+		// large; saturate.
+		return new(big.Int).Lsh(big.NewInt(1), 1<<30), nil
+	}
+	kv := int(k.Int64())
+	if kv%2 == 1 {
+		kv--
+	}
+	if kv < 4 {
+		kv = 4
+	}
+	e := new(big.Int).Div(mathx.BinomialBig(kv, kv/2), big.NewInt(2))
+	if !e.IsInt64() || e.Int64() > 1<<30 {
+		return new(big.Int).Lsh(big.NewInt(1), 1<<30), nil
+	}
+	return mathx.Pow2(int(e.Int64())), nil
+}

@@ -1,0 +1,151 @@
+package colorred
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/problems"
+)
+
+// TestHalfStepMatchesExpected verifies the engine's Π'_{1/2} of k-coloring
+// equals the paper's explicit description (Section 4.5) for small k.
+func TestHalfStepMatchesExpected(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		p := problems.KColoring(k, 2)
+		derived, err := core.HalfStep(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ExpectedHalf(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := core.Isomorphic(derived, want); !ok {
+			t.Errorf("k=%d: derived Π'_1/2 does not match the paper's description\nderived: %+v\nwant: %+v",
+				k, derived.Stats(), want.Stats())
+		}
+	}
+}
+
+func TestKPrimeValues(t *testing.T) {
+	// k=4: C(4,2)/2 = 3 → k' = 8. k=6: C(6,3)/2 = 10 → k' = 1024.
+	got4, err := KPrime(4)
+	if err != nil || got4.Cmp(big.NewInt(8)) != 0 {
+		t.Errorf("KPrime(4) = %v, %v; want 8", got4, err)
+	}
+	got6, err := KPrime(6)
+	if err != nil || got6.Cmp(big.NewInt(1024)) != 0 {
+		t.Errorf("KPrime(6) = %v, %v; want 1024", got6, err)
+	}
+	// Paper: for k ≥ 6, k' ≥ 2^(2^(k/2)).
+	for _, k := range []int{6, 8, 10} {
+		kp, err := KPrime(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := mathx.Pow2(1 << uint(k/2))
+		if kp.Cmp(bound) < 0 {
+			t.Errorf("k=%d: k'=%v below 2^(2^(k/2))=%v", k, kp, bound)
+		}
+	}
+	if _, err := KPrime(5); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := KPrime(2); err == nil {
+		t.Error("k=2 accepted")
+	}
+}
+
+func TestFamiliesCount(t *testing.T) {
+	f4, err := Families(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4) != 8 {
+		t.Errorf("Families(4) = %d, want 8", len(f4))
+	}
+	for _, fam := range f4 {
+		if len(fam.Members) != 3 {
+			t.Errorf("family has %d members, want 3", len(fam.Members))
+		}
+	}
+	f6, err := Families(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6) != 1024 {
+		t.Errorf("Families(6) = %d, want 1024", len(f6))
+	}
+}
+
+// TestVerifyHardening mechanizes the two properties of Section 4.5 that
+// make the family labels a k'-coloring subproblem of Π_1.
+func TestVerifyHardening(t *testing.T) {
+	kp, err := VerifyHardening(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp != 8 {
+		t.Errorf("VerifyHardening(4) = %d, want 8", kp)
+	}
+	if testing.Short() {
+		return
+	}
+	kp6, err := VerifyHardening(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp6 != 1024 {
+		t.Errorf("VerifyHardening(6) = %d, want 1024", kp6)
+	}
+}
+
+// TestHardenedRelaxesToDerived closes the loop: the hardened problem (as
+// k'-coloring) genuinely relaxes to the engine-derived unsimplified Π_1
+// would be too large to materialize, but the defining properties were
+// verified; here we check the resulting problem is exactly k'-coloring.
+func TestHardenedRelaxesToDerived(t *testing.T) {
+	p, kp, err := HardenedProblem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp != 8 {
+		t.Fatalf("k' = %d, want 8", kp)
+	}
+	if _, ok := core.Isomorphic(p, problems.KColoring(8, 2)); !ok {
+		t.Error("hardened problem is not 8-coloring")
+	}
+}
+
+// TestUpperBoundStepsLogStarShape verifies the doubly-exponential speedup
+// yields Θ(log* n) many steps.
+func TestUpperBoundStepsLogStarShape(t *testing.T) {
+	cases := []struct {
+		bits int
+	}{{8}, {16}, {64}, {1 << 10}, {1 << 16}}
+	prev := 0
+	for _, c := range cases {
+		n := new(big.Int).Lsh(big.NewInt(1), uint(c.bits))
+		steps, err := UpperBoundSteps(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logStar := mathx.LogStarBig(n)
+		if steps < prev {
+			t.Errorf("steps not monotone at bits=%d", c.bits)
+		}
+		prev = steps
+		// Θ(log* n) sanity: within a small additive band.
+		if steps > logStar+2 || steps < logStar-4 {
+			t.Errorf("bits=%d: steps=%d far from log*=%d", c.bits, steps, logStar)
+		}
+	}
+}
+
+func TestUpperBoundStepsRejectsNonPositive(t *testing.T) {
+	if _, err := UpperBoundSteps(big.NewInt(0)); err == nil {
+		t.Error("zero id space accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package core implements the problem calculus and the automatic speedup
+// theorem of Brandt, "An Automatic Speedup Theorem for Distributed
+// Problems" (PODC 2019).
+//
+// A locally checkable problem Π (for a fixed maximum degree Δ) is given by
+// an alphabet of output labels, an edge constraint g(Δ) — the set of
+// 2-element multisets of labels allowed on the two endpoints of an edge —
+// and a node constraint h(Δ) — the set of Δ-element multisets allowed on
+// the ports of a node (Section 3 of the paper).
+//
+// The central operation is the speedup transformation Π → Π_{1/2} → Π_1
+// (Section 4.1): on t-independent graph classes of girth ≥ 2t+2, Π is
+// solvable in t rounds iff Π_1 is solvable in t−1 rounds (Theorem 1), and
+// the same holds for the simplified problem Π'_1 obtained via the
+// maximality constraint (Theorem 2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// Label identifies an output label as an index into an Alphabet.
+type Label int
+
+// Alphabet is the ordered set of output labels of a problem. Labels of a
+// problem derived by the speedup transformation are sets of labels of the
+// predecessor problem; the alphabet records this provenance so derived
+// problems can be displayed in the paper's set notation.
+type Alphabet struct {
+	names      []string
+	provenance []bitset.Set // may be nil for base alphabets
+	index      map[string]Label
+}
+
+// NewAlphabet creates an alphabet from label names. Names must be non-empty
+// and distinct.
+func NewAlphabet(names ...string) (*Alphabet, error) {
+	a := &Alphabet{
+		names: make([]string, 0, len(names)),
+		index: make(map[string]Label, len(names)),
+	}
+	for _, n := range names {
+		if err := a.add(n); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// MustAlphabet is NewAlphabet but panics on error; intended for literals in
+// tests and examples.
+func MustAlphabet(names ...string) *Alphabet {
+	a, err := NewAlphabet(names...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *Alphabet) add(name string) error {
+	if name == "" {
+		return fmt.Errorf("core: empty label name")
+	}
+	if strings.ContainsAny(name, " \t\n^") {
+		return fmt.Errorf("core: label name %q contains reserved characters", name)
+	}
+	if _, ok := a.index[name]; ok {
+		return fmt.Errorf("core: duplicate label name %q", name)
+	}
+	a.index[name] = Label(len(a.names))
+	a.names = append(a.names, name)
+	return nil
+}
+
+// Size returns the number of labels.
+func (a *Alphabet) Size() int { return len(a.names) }
+
+// Name returns the name of label l.
+func (a *Alphabet) Name(l Label) string {
+	if int(l) < 0 || int(l) >= len(a.names) {
+		return fmt.Sprintf("?%d", int(l))
+	}
+	return a.names[l]
+}
+
+// Names returns a copy of all label names in label order.
+func (a *Alphabet) Names() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Lookup returns the label with the given name.
+func (a *Alphabet) Lookup(name string) (Label, bool) {
+	l, ok := a.index[name]
+	return l, ok
+}
+
+// Provenance returns the set of predecessor labels this label was derived
+// from, or (zero Set, false) for base alphabets.
+func (a *Alphabet) Provenance(l Label) (bitset.Set, bool) {
+	if a.provenance == nil || int(l) >= len(a.provenance) {
+		return bitset.Set{}, false
+	}
+	return a.provenance[l], true
+}
+
+// derivedAlphabet builds an alphabet whose labels are sets of labels of
+// prev. Each set is named in the paper's notation, e.g. "(A B)".
+func derivedAlphabet(prev *Alphabet, sets []bitset.Set) *Alphabet {
+	a := &Alphabet{
+		names:      make([]string, 0, len(sets)),
+		provenance: make([]bitset.Set, 0, len(sets)),
+		index:      make(map[string]Label, len(sets)),
+	}
+	for _, s := range sets {
+		name := setName(prev, s)
+		// Distinct sets always get distinct names since names encode the
+		// member list; add cannot fail on duplicates here by construction.
+		if err := a.add(name); err != nil {
+			panic(fmt.Sprintf("core: derived alphabet: %v", err))
+		}
+		a.provenance = append(a.provenance, s.Clone())
+	}
+	return a
+}
+
+// setName renders a set of labels of prev in the paper's set notation.
+func setName(prev *Alphabet, s bitset.Set) string {
+	parts := make([]string, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		parts = append(parts, prev.Name(Label(i)))
+		return true
+	})
+	if len(parts) == 0 {
+		return "()"
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// compactNames generates short fresh names: A, B, ..., Z, A1, B1, ...
+func compactNames(n int) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		letter := string(rune('A' + i%26))
+		if i < 26 {
+			out[i] = letter
+		} else {
+			out[i] = fmt.Sprintf("%s%d", letter, i/26)
+		}
+	}
+	return out
+}
+
+// restrictedAlphabet returns a new alphabet containing only the labels in
+// keep (in increasing label order), together with the mapping old→new.
+func restrictedAlphabet(a *Alphabet, keep bitset.Set) (*Alphabet, map[Label]Label) {
+	na := &Alphabet{index: make(map[string]Label, keep.Count())}
+	remap := make(map[Label]Label, keep.Count())
+	keep.ForEach(func(i int) bool {
+		remap[Label(i)] = Label(len(na.names))
+		na.names = append(na.names, a.names[i])
+		na.index[a.names[i]] = Label(len(na.names) - 1)
+		if a.provenance != nil {
+			na.provenance = append(na.provenance, a.provenance[i])
+		}
+		return true
+	})
+	return na, remap
+}
+
+// sortedLabels returns the labels 0..n-1 sorted by name; used for canonical
+// display ordering.
+func sortedLabels(a *Alphabet) []Label {
+	out := make([]Label, a.Size())
+	for i := range out {
+		out[i] = Label(i)
+	}
+	sort.Slice(out, func(i, j int) bool { return a.Name(out[i]) < a.Name(out[j]) })
+	return out
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Constraint is a set of allowed configurations of a fixed arity: the
+// paper's g(Δ) (arity 2) or h(Δ) (arity Δ).
+type Constraint struct {
+	arity int
+	set   map[string]Config
+}
+
+// NewConstraint returns an empty constraint of the given arity.
+func NewConstraint(arity int) Constraint {
+	if arity < 1 {
+		panic("core: constraint arity must be positive")
+	}
+	return Constraint{arity: arity, set: make(map[string]Config)}
+}
+
+// Arity returns the configuration arity.
+func (c Constraint) Arity() int { return c.arity }
+
+// Size returns the number of configurations.
+func (c Constraint) Size() int { return len(c.set) }
+
+// Add inserts a configuration; it is an error if the arity differs.
+func (c Constraint) Add(cfg Config) error {
+	if cfg.Arity() != c.arity {
+		return fmt.Errorf("core: config arity %d does not match constraint arity %d", cfg.Arity(), c.arity)
+	}
+	c.set[cfg.Key()] = cfg
+	return nil
+}
+
+// MustAdd is Add but panics on error; for literals in tests and catalogs.
+func (c Constraint) MustAdd(cfg Config) {
+	if err := c.Add(cfg); err != nil {
+		panic(err)
+	}
+}
+
+// AddLabels inserts the configuration formed by the given labels.
+func (c Constraint) AddLabels(labels ...Label) error {
+	return c.Add(NewConfig(labels...))
+}
+
+// Contains reports whether the configuration is allowed.
+func (c Constraint) Contains(cfg Config) bool {
+	_, ok := c.set[cfg.Key()]
+	return ok
+}
+
+// ContainsLabels reports whether the multiset of the given labels is
+// allowed.
+func (c Constraint) ContainsLabels(labels ...Label) bool {
+	return c.Contains(NewConfig(labels...))
+}
+
+// Configs returns all configurations in a deterministic order (sorted by
+// canonical key).
+func (c Constraint) Configs() []Config {
+	keys := make([]string, 0, len(c.set))
+	for k := range c.set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Config, len(keys))
+	for i, k := range keys {
+		out[i] = c.set[k]
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (c Constraint) Clone() Constraint {
+	n := NewConstraint(c.arity)
+	for k, v := range c.set {
+		n.set[k] = v
+	}
+	return n
+}
+
+// UsedLabels returns the set of labels occurring in at least one
+// configuration, as a bitset over an alphabet of the given size.
+func (c Constraint) UsedLabels(alphabetSize int) bitset.Set {
+	s := bitset.New(alphabetSize)
+	for _, cfg := range c.set {
+		for _, p := range cfg.pairs {
+			s.Add(int(p.label))
+		}
+	}
+	return s
+}
+
+// Restrict returns the constraint containing only configurations whose
+// support lies in keep, with labels renumbered through remap.
+func (c Constraint) Restrict(keep bitset.Set, remap map[Label]Label) Constraint {
+	n := NewConstraint(c.arity)
+	for _, cfg := range c.set {
+		ok := true
+		for _, p := range cfg.pairs {
+			if !keep.Contains(int(p.label)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		mapped, err := cfg.Remap(remap)
+		if err != nil {
+			panic(fmt.Sprintf("core: restrict: %v", err))
+		}
+		n.set[mapped.Key()] = mapped
+	}
+	return n
+}
+
+// Remap returns the constraint with every configuration remapped; distinct
+// configurations may collapse.
+func (c Constraint) Remap(m map[Label]Label) (Constraint, error) {
+	n := NewConstraint(c.arity)
+	for _, cfg := range c.set {
+		mapped, err := cfg.Remap(m)
+		if err != nil {
+			return Constraint{}, err
+		}
+		n.set[mapped.Key()] = mapped
+	}
+	return n, nil
+}
+
+// Equal reports whether two constraints allow exactly the same
+// configurations.
+func (c Constraint) Equal(d Constraint) bool {
+	if c.arity != d.arity || len(c.set) != len(d.set) {
+		return false
+	}
+	for k := range c.set {
+		if _, ok := d.set[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// edgeRelation precomputes, for an arity-2 constraint over an alphabet of
+// size n, the symmetric relation rel[y][z] = ({y,z} ∈ g) and per-label
+// neighbor bitsets.
+type edgeRelation struct {
+	n         int
+	neighbors []bitset.Set
+}
+
+func newEdgeRelation(g Constraint, alphabetSize int) edgeRelation {
+	if g.Arity() != 2 {
+		panic("core: edge relation requires arity-2 constraint")
+	}
+	r := edgeRelation{n: alphabetSize, neighbors: make([]bitset.Set, alphabetSize)}
+	for i := range r.neighbors {
+		r.neighbors[i] = bitset.New(alphabetSize)
+	}
+	for _, cfg := range g.set {
+		labels := cfg.Expand()
+		y, z := labels[0], labels[1]
+		r.neighbors[y].Add(int(z))
+		r.neighbors[z].Add(int(y))
+	}
+	return r
+}
+
+// compatible reports whether {y,z} ∈ g.
+func (r edgeRelation) compatible(y, z Label) bool {
+	return r.neighbors[y].Contains(int(z))
+}
+
+// comp returns comp(S) = {y : ∀z ∈ S, {y,z} ∈ g}: the largest set every
+// element of which is edge-compatible with every element of S. comp(∅) is
+// the full alphabet.
+func (r edgeRelation) comp(s bitset.Set) bitset.Set {
+	out := bitset.Full(r.n)
+	s.ForEach(func(z int) bool {
+		out.IntersectInPlace(r.neighbors[z])
+		return true
+	})
+	return out
+}

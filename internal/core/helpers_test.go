@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/bitset"
+)
+
+// bsFrom builds a bitset over universe n from indices; test helper.
+func bsFrom(n int, members []int) bitset.Set {
+	return bitset.FromIndices(n, members...)
+}
+
+// randomProblem generates a small random problem for property tests:
+// alphabet of the given size, each potential edge/node configuration
+// included with the given density.
+func randomProblem(rng *rand.Rand, alphabetSize, delta int, density float64) *Problem {
+	names := make([]string, alphabetSize)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	alpha := MustAlphabet(names...)
+	edge := NewConstraint(2)
+	for i := 0; i < alphabetSize; i++ {
+		for j := i; j < alphabetSize; j++ {
+			if rng.Float64() < density {
+				edge.MustAdd(NewConfig(Label(i), Label(j)))
+			}
+		}
+	}
+	node := NewConstraint(delta)
+	enumerateMultisets(alphabetSize, delta, func(counts map[int]int) {
+		if rng.Float64() < density {
+			m := make(map[Label]int, len(counts))
+			for l, c := range counts {
+				m[Label(l)] = c
+			}
+			cfg, err := NewConfigCounts(m)
+			if err == nil {
+				node.MustAdd(cfg)
+			}
+		}
+	})
+	return &Problem{Alpha: alpha, Edge: edge, Node: node}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Isomorphic reports whether p and q are the same problem up to a renaming
+// of labels, returning a witnessing bijection when they are. This is the
+// fixed-point test of the lower-bound recipe: in Section 4.4 the paper
+// shows Π_1 = Π for sinkless coloring, which (with Theorem 2) yields the
+// Ω(log n) lower bound.
+//
+// The search is a backtracking bijection search pruned by label
+// invariants (multiplicity profiles in both constraints), which keeps it
+// instantaneous for the alphabet sizes arising in practice.
+func Isomorphic(p, q *Problem) (LabelMap, bool) {
+	if p.Alpha.Size() != q.Alpha.Size() ||
+		p.Delta() != q.Delta() ||
+		p.Edge.Size() != q.Edge.Size() ||
+		p.Node.Size() != q.Node.Size() {
+		return nil, false
+	}
+	n := p.Alpha.Size()
+
+	sigP := labelSignatures(p)
+	sigQ := labelSignatures(q)
+
+	// Candidate targets per source label: equal signatures only.
+	cand := make([][]Label, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if sigP[i] == sigQ[j] {
+				cand[i] = append(cand[i], Label(j))
+			}
+		}
+		if len(cand[i]) == 0 {
+			return nil, false
+		}
+	}
+
+	// Assign the most constrained labels first.
+	order := make([]Label, n)
+	for i := range order {
+		order[i] = Label(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return len(cand[order[i]]) < len(cand[order[j]]) })
+
+	pos := make([]int, n)
+	for i, l := range order {
+		pos[l] = i
+	}
+
+	// Forward checking: verify each configuration of p as soon as its
+	// support is fully assigned (indexed by the assignment step at which
+	// that happens). Without this, highly symmetric problems (e.g. the
+	// k-coloring derivations of Section 4.5) explode factorially.
+	type check struct {
+		cfg  Config
+		edge bool
+	}
+	checksAt := make([][]check, n)
+	addChecks := func(c Constraint, isEdge bool) {
+		for _, cfg := range c.Configs() {
+			last := 0
+			for _, l := range cfg.Support() {
+				if pos[l] > last {
+					last = pos[l]
+				}
+			}
+			checksAt[last] = append(checksAt[last], check{cfg: cfg, edge: isEdge})
+		}
+	}
+	addChecks(p.Edge, true)
+	addChecks(p.Node, false)
+
+	assignment := make(LabelMap, n)
+	used := make([]bool, n)
+	var rec func(step int) bool
+	rec = func(step int) bool {
+		if step == n {
+			// All configurations already verified incrementally; the
+			// counts match, so the map is a bijection onto q's configs.
+			return true
+		}
+		l := order[step]
+		for _, img := range cand[l] {
+			if used[img] {
+				continue
+			}
+			assignment[l] = img
+			used[img] = true
+			ok := true
+			for _, ch := range checksAt[step] {
+				mapped, err := ch.cfg.Remap(assignment)
+				if err != nil {
+					ok = false
+					break
+				}
+				target := q.Node
+				if ch.edge {
+					target = q.Edge
+				}
+				if !target.Contains(mapped) {
+					ok = false
+					break
+				}
+			}
+			if ok && rec(step+1) {
+				return true
+			}
+			used[img] = false
+			delete(assignment, l)
+		}
+		return false
+	}
+	if rec(0) {
+		return assignment, true
+	}
+	return nil, false
+}
+
+// labelSignatures computes a renaming-invariant fingerprint per label: the
+// sorted list of (multiplicity-profile, own-multiplicity) participations
+// in each constraint.
+func labelSignatures(p *Problem) []string {
+	n := p.Alpha.Size()
+	parts := make([][]string, n)
+	collect := func(c Constraint, tag string) {
+		for _, cfg := range c.Configs() {
+			// Profile: sorted multiplicities of the configuration.
+			mults := make([]int, 0, 4)
+			cfg.ForEach(func(_ Label, count int) { mults = append(mults, count) })
+			sort.Ints(mults)
+			profParts := make([]string, len(mults))
+			for i, m := range mults {
+				profParts[i] = strconv.Itoa(m)
+			}
+			prof := tag + strings.Join(profParts, ".")
+			cfg.ForEach(func(l Label, count int) {
+				parts[l] = append(parts[l], prof+"@"+strconv.Itoa(count))
+			})
+		}
+	}
+	collect(p.Edge, "e")
+	collect(p.Node, "n")
+	out := make([]string, n)
+	for i := range parts {
+		sort.Strings(parts[i])
+		out[i] = strings.Join(parts[i], "|")
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `
+# sinkless coloring at Δ=3
+node:
+0^2 1
+edge:
+0 0
+0 1
+`
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delta() != 3 || p.Alpha.Size() != 2 {
+		t.Fatalf("Δ=%d labels=%d", p.Delta(), p.Alpha.Size())
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if _, ok := Isomorphic(p, q); !ok {
+		t.Error("round trip not isomorphic")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no header", "A B\nedge:\nA B"},
+		{"no node section", "edge:\nA B"},
+		{"no edge section", "node:\nA A"},
+		{"edge arity", "node:\nA A\nedge:\nA A A"},
+		{"node arity mismatch", "node:\nA A\nB B B\nedge:\nA B"},
+		{"bad multiplicity", "node:\nA^0 A\nedge:\nA A"},
+		{"bad multiplicity syntax", "node:\nA^x A\nedge:\nA A"},
+		{"empty label", "node:\n^2\nedge:\nA A"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.text); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseMultiplicityShorthand(t *testing.T) {
+	p := MustParse("node:\nX^3\nedge:\nX X")
+	cfgs := p.Node.Configs()
+	if len(cfgs) != 1 || cfgs[0].Arity() != 3 || cfgs[0].Multiplicity(0) != 3 {
+		t.Error("multiplicity shorthand mishandled")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p := MustParse("# header\nnode:\n# interior comment\nA A\nedge:\nA A\n# trailing")
+	if p.Node.Size() != 1 || p.Edge.Size() != 1 {
+		t.Error("comments affected parsing")
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	p := MustParse("node:\nB A\nA A\nedge:\nA B\nA A")
+	if p.String() != p.String() {
+		t.Error("String not deterministic")
+	}
+	if !strings.Contains(p.String(), "node:") || !strings.Contains(p.String(), "edge:") {
+		t.Error("String missing sections")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// Problem is a locally checkable problem instantiated at a fixed maximum
+// degree Δ, per Section 3 of the paper: an alphabet of output labels
+// (f(Δ)), an edge constraint g(Δ) of 2-element multisets, and a node
+// constraint h(Δ) of Δ-element multisets.
+//
+// The paper's f, g, h are functions of Δ; a Problem value is their value at
+// one Δ, which is what the speedup transformation operates on (exactly as
+// in the paper's worked examples, Sections 4.4–4.6 and 5.1).
+type Problem struct {
+	Alpha *Alphabet
+	Edge  Constraint // g(Δ), arity 2
+	Node  Constraint // h(Δ), arity Δ
+}
+
+// NewProblem assembles and validates a problem.
+func NewProblem(alpha *Alphabet, edge, node Constraint) (*Problem, error) {
+	p := &Problem{Alpha: alpha, Edge: edge, Node: node}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Delta returns the node-constraint arity Δ.
+func (p *Problem) Delta() int { return p.Node.Arity() }
+
+// Validate checks structural invariants: the edge constraint has arity 2,
+// and every label referenced by a configuration exists in the alphabet.
+func (p *Problem) Validate() error {
+	if p.Alpha == nil {
+		return fmt.Errorf("core: problem has nil alphabet")
+	}
+	if p.Edge.Arity() != 2 {
+		return fmt.Errorf("core: edge constraint has arity %d, want 2", p.Edge.Arity())
+	}
+	if p.Node.Arity() < 1 {
+		return fmt.Errorf("core: node constraint has arity %d, want >= 1", p.Node.Arity())
+	}
+	n := p.Alpha.Size()
+	for _, c := range []Constraint{p.Edge, p.Node} {
+		for _, cfg := range c.Configs() {
+			for _, l := range cfg.Support() {
+				if int(l) < 0 || int(l) >= n {
+					return fmt.Errorf("core: config references label %d outside alphabet of size %d", l, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// UsableLabels returns the labels that occur in at least one edge
+// configuration and at least one node configuration — the only labels that
+// can appear in a correct solution (Section 4.2, "compress the problem
+// description").
+func (p *Problem) UsableLabels() bitset.Set {
+	e := p.Edge.UsedLabels(p.Alpha.Size())
+	h := p.Node.UsedLabels(p.Alpha.Size())
+	return e.Intersect(h)
+}
+
+// Compress iteratively removes labels that cannot occur in any correct
+// solution (those missing from the edge or the node constraint) and the
+// configurations that use them, until a fixed point. The result is an
+// equivalent problem in the sense of the paper's Section 4.2 convention.
+func (p *Problem) Compress() *Problem {
+	cur := p
+	for {
+		keep := cur.UsableLabels()
+		if keep.Count() == cur.Alpha.Size() {
+			return cur
+		}
+		na, remap := restrictedAlphabet(cur.Alpha, keep)
+		next := &Problem{
+			Alpha: na,
+			Edge:  cur.Edge.Restrict(keep, remap),
+			Node:  cur.Node.Restrict(keep, remap),
+		}
+		cur = next
+		if keep.Empty() {
+			return cur
+		}
+	}
+}
+
+// RenameCompact returns an equivalent problem whose labels carry short
+// fresh names (A, B, ...), in the canonical order of the old names, along
+// with the mapping from new names to old names. Useful after a speedup
+// step, whose derived names are nested set expressions.
+func (p *Problem) RenameCompact() (*Problem, map[string]string) {
+	order := sortedLabels(p.Alpha)
+	fresh := compactNames(len(order))
+	na := &Alphabet{index: make(map[string]Label, len(order))}
+	remap := make(map[Label]Label, len(order))
+	backing := make(map[string]string, len(order))
+	for i, old := range order {
+		if err := na.add(fresh[i]); err != nil {
+			panic(fmt.Sprintf("core: rename: %v", err))
+		}
+		if p.Alpha.provenance != nil {
+			na.provenance = append(na.provenance, p.Alpha.provenance[old])
+		}
+		remap[old] = Label(i)
+		backing[fresh[i]] = p.Alpha.Name(old)
+	}
+	edge, err := p.Edge.Remap(remap)
+	if err != nil {
+		panic(fmt.Sprintf("core: rename: %v", err))
+	}
+	node, err := p.Node.Remap(remap)
+	if err != nil {
+		panic(fmt.Sprintf("core: rename: %v", err))
+	}
+	return &Problem{Alpha: na, Edge: edge, Node: node}, backing
+}
+
+// Stats summarizes a problem's description complexity.
+type Stats struct {
+	Labels      int
+	EdgeConfigs int
+	NodeConfigs int
+	Delta       int
+}
+
+// Stats returns the description-size statistics of the problem.
+func (p *Problem) Stats() Stats {
+	return Stats{
+		Labels:      p.Alpha.Size(),
+		EdgeConfigs: p.Edge.Size(),
+		NodeConfigs: p.Node.Size(),
+		Delta:       p.Delta(),
+	}
+}
+
+// String renders the problem in the text format accepted by Parse.
+func (p *Problem) String() string {
+	var sb strings.Builder
+	sb.WriteString("node:\n")
+	for _, cfg := range p.Node.Configs() {
+		sb.WriteString(cfg.String(p.Alpha))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("edge:\n")
+	for _, cfg := range p.Edge.Configs() {
+		sb.WriteString(cfg.String(p.Alpha))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Equal reports whether two problems are identical (same label names in the
+// same order, same constraint sets). For equality up to label renaming use
+// Isomorphic.
+func (p *Problem) Equal(q *Problem) bool {
+	if p.Alpha.Size() != q.Alpha.Size() {
+		return false
+	}
+	for i := 0; i < p.Alpha.Size(); i++ {
+		if p.Alpha.Name(Label(i)) != q.Alpha.Name(Label(i)) {
+			return false
+		}
+	}
+	return p.Edge.Equal(q.Edge) && p.Node.Equal(q.Node)
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements relaxation maps, the paper's main tool for taming
+// the description growth of derived problems (Section 2.1, "Relaxation").
+//
+// A problem Π relaxes to Π' (Π' is "provably not harder than Π") if there
+// is a label map m from the alphabet of Π to the alphabet of Π' such that
+// every edge configuration of Π maps into an edge configuration of Π' and
+// every node configuration of Π maps into a node configuration of Π'. Any
+// algorithm for Π then solves Π' in the same number of rounds by applying
+// m to its outputs. The dual direction — finding a harder problem with a
+// smaller description — is the paper's route to upper bounds (Section 4.5).
+
+// LabelMap maps labels of a source problem to labels of a target problem.
+type LabelMap map[Label]Label
+
+// CheckRelaxation verifies that m witnesses "src relaxes to dst": the
+// m-image of every configuration of src is a configuration of dst. It
+// returns nil on success and a descriptive error naming the first
+// violating configuration otherwise.
+func CheckRelaxation(src, dst *Problem, m LabelMap) error {
+	if src.Delta() != dst.Delta() {
+		return fmt.Errorf("core: relaxation: Δ mismatch: %d vs %d", src.Delta(), dst.Delta())
+	}
+	for i := 0; i < src.Alpha.Size(); i++ {
+		img, ok := m[Label(i)]
+		if !ok {
+			return fmt.Errorf("core: relaxation: label %q has no image", src.Alpha.Name(Label(i)))
+		}
+		if int(img) < 0 || int(img) >= dst.Alpha.Size() {
+			return fmt.Errorf("core: relaxation: image of %q out of range", src.Alpha.Name(Label(i)))
+		}
+	}
+	for _, cfg := range src.Edge.Configs() {
+		mapped, err := cfg.Remap(m)
+		if err != nil {
+			return err
+		}
+		if !dst.Edge.Contains(mapped) {
+			return fmt.Errorf("core: relaxation: edge config %q maps to %q, not allowed by target",
+				cfg.String(src.Alpha), mapped.String(dst.Alpha))
+		}
+	}
+	for _, cfg := range src.Node.Configs() {
+		mapped, err := cfg.Remap(m)
+		if err != nil {
+			return err
+		}
+		if !dst.Node.Contains(mapped) {
+			return fmt.Errorf("core: relaxation: node config %q maps to %q, not allowed by target",
+				cfg.String(src.Alpha), mapped.String(dst.Alpha))
+		}
+	}
+	return nil
+}
+
+// FindRelaxation searches for a label map witnessing "src relaxes to dst"
+// by backtracking over label assignments with forward checking on the
+// configurations whose support is fully assigned. It returns (map, true)
+// if one exists. The search is exponential in the worst case; alphabets in
+// the paper's pipelines are small.
+func FindRelaxation(src, dst *Problem) (LabelMap, bool) {
+	if src.Delta() != dst.Delta() {
+		return nil, false
+	}
+	nSrc := src.Alpha.Size()
+	nDst := dst.Alpha.Size()
+
+	// Order source labels by decreasing constraint participation so
+	// failures surface early.
+	occurrences := make([]int, nSrc)
+	for _, c := range []Constraint{src.Edge, src.Node} {
+		for _, cfg := range c.Configs() {
+			for _, l := range cfg.Support() {
+				occurrences[l]++
+			}
+		}
+	}
+	order := make([]Label, nSrc)
+	for i := range order {
+		order[i] = Label(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return occurrences[order[i]] > occurrences[order[j]] })
+
+	pos := make([]int, nSrc) // position of each label in the assignment order
+	for i, l := range order {
+		pos[l] = i
+	}
+
+	// For forward checking, index configurations by the assignment-order
+	// position at which their support becomes fully assigned.
+	type check struct {
+		cfg  Config
+		edge bool
+	}
+	checksAt := make([][]check, nSrc)
+	addChecks := func(c Constraint, isEdge bool) {
+		for _, cfg := range c.Configs() {
+			last := 0
+			for _, l := range cfg.Support() {
+				if pos[l] > last {
+					last = pos[l]
+				}
+			}
+			checksAt[last] = append(checksAt[last], check{cfg: cfg, edge: isEdge})
+		}
+	}
+	addChecks(src.Edge, true)
+	addChecks(src.Node, false)
+
+	assignment := make(LabelMap, nSrc)
+	var rec func(step int) bool
+	rec = func(step int) bool {
+		if step == nSrc {
+			return true
+		}
+		l := order[step]
+		for img := 0; img < nDst; img++ {
+			assignment[l] = Label(img)
+			ok := true
+			for _, ch := range checksAt[step] {
+				mapped, err := ch.cfg.Remap(assignment)
+				if err != nil {
+					ok = false
+					break
+				}
+				target := dst.Node
+				if ch.edge {
+					target = dst.Edge
+				}
+				if !target.Contains(mapped) {
+					ok = false
+					break
+				}
+			}
+			if ok && rec(step+1) {
+				return true
+			}
+		}
+		delete(assignment, l)
+		return false
+	}
+	if rec(0) {
+		return assignment, true
+	}
+	return nil, false
+}
+
+// Restriction returns the problem obtained from p by deleting the given
+// labels (and every configuration using them), then compressing. The
+// result is at least as hard as p in the sense of Section 4.5: any
+// solution of the restriction is a solution of p.
+func Restriction(p *Problem, remove ...Label) *Problem {
+	keep := p.Edge.UsedLabels(p.Alpha.Size())
+	keep.UnionInPlace(p.Node.UsedLabels(p.Alpha.Size()))
+	for _, l := range remove {
+		keep.Remove(int(l))
+	}
+	na, remap := restrictedAlphabet(p.Alpha, keep)
+	q := &Problem{
+		Alpha: na,
+		Edge:  p.Edge.Restrict(keep, remap),
+		Node:  p.Node.Restrict(keep, remap),
+	}
+	return q.Compress()
+}

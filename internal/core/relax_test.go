@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func twoColoring(delta int) *Problem {
+	return MustParse(`
+node:
+A^` + itoa(delta) + `
+B^` + itoa(delta) + `
+edge:
+A B
+`)
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+func TestCheckRelaxationColoring(t *testing.T) {
+	// 2-coloring relaxes to 3-coloring (inject colors).
+	src := MustParse("node:\nA A\nB B\nedge:\nA B")
+	dst := MustParse("node:\nX X\nY Y\nZ Z\nedge:\nX Y\nX Z\nY Z")
+	m := LabelMap{}
+	a, _ := src.Alpha.Lookup("A")
+	b, _ := src.Alpha.Lookup("B")
+	x, _ := dst.Alpha.Lookup("X")
+	y, _ := dst.Alpha.Lookup("Y")
+	m[a], m[b] = x, y
+	if err := CheckRelaxation(src, dst, m); err != nil {
+		t.Errorf("injection should be a relaxation: %v", err)
+	}
+	// The reverse direction (3 colors into 2) must fail.
+	if _, ok := FindRelaxation(dst, src); ok {
+		t.Error("3-coloring should not relax to 2-coloring on these constraints")
+	}
+}
+
+func TestFindRelaxationFindsInjection(t *testing.T) {
+	src := MustParse("node:\nA A\nB B\nedge:\nA B")
+	dst := MustParse("node:\nX X\nY Y\nZ Z\nedge:\nX Y\nX Z\nY Z")
+	m, ok := FindRelaxation(src, dst)
+	if !ok {
+		t.Fatal("no relaxation found")
+	}
+	if err := CheckRelaxation(src, dst, m); err != nil {
+		t.Errorf("found map does not verify: %v", err)
+	}
+}
+
+func TestCheckRelaxationRejects(t *testing.T) {
+	src := MustParse("node:\nA A\nedge:\nA A")
+	dst := MustParse("node:\nX X\nedge:\nX Y\nnode:\nY Y")
+	a, _ := src.Alpha.Lookup("A")
+	x, _ := dst.Alpha.Lookup("X")
+	// Maps A→X but {X,X} is not an edge config of dst.
+	if err := CheckRelaxation(src, dst, LabelMap{a: x}); err == nil {
+		t.Error("invalid relaxation accepted")
+	}
+	// Missing image.
+	if err := CheckRelaxation(src, dst, LabelMap{}); err == nil {
+		t.Error("partial map accepted")
+	}
+	// Δ mismatch.
+	other := MustParse("node:\nA A A\nedge:\nA A")
+	if err := CheckRelaxation(src, other, LabelMap{a: 0}); err == nil {
+		t.Error("Δ mismatch accepted")
+	}
+}
+
+// TestFindRelaxationAgreesWithBrute compares the backtracking search with
+// exhaustive map enumeration on random small problems.
+func TestFindRelaxationAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 200; iter++ {
+		src := randomProblem(rng, 1+rng.Intn(3), 2, 0.5)
+		dst := randomProblem(rng, 1+rng.Intn(3), 2, 0.5)
+		_, got := FindRelaxation(src, dst)
+		want := bruteRelaxationExists(src, dst)
+		if got != want {
+			t.Fatalf("iter %d: FindRelaxation=%v brute=%v\nsrc:\n%s\ndst:\n%s",
+				iter, got, want, src.String(), dst.String())
+		}
+	}
+}
+
+func bruteRelaxationExists(src, dst *Problem) bool {
+	nSrc, nDst := src.Alpha.Size(), dst.Alpha.Size()
+	if nDst == 0 {
+		return nSrc == 0
+	}
+	assign := make(LabelMap, nSrc)
+	var rec func(l int) bool
+	rec = func(l int) bool {
+		if l == nSrc {
+			return CheckRelaxation(src, dst, assign) == nil
+		}
+		for img := 0; img < nDst; img++ {
+			assign[Label(l)] = Label(img)
+			if rec(l + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func TestRestrictionIsHarder(t *testing.T) {
+	// Restricting 3-coloring by removing a color gives 2-coloring, and the
+	// identity embedding witnesses "restriction relaxes to original".
+	p := MustParse("node:\nX X\nY Y\nZ Z\nedge:\nX Y\nX Z\nY Z")
+	z, _ := p.Alpha.Lookup("Z")
+	r := Restriction(p, z)
+	if r.Alpha.Size() != 2 || r.Node.Size() != 2 || r.Edge.Size() != 1 {
+		t.Fatalf("restriction stats wrong: %+v", r.Stats())
+	}
+	if _, ok := FindRelaxation(r, p); !ok {
+		t.Error("restriction should relax to the original problem")
+	}
+}

@@ -1,0 +1,663 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// setConfig is a multiset of label sets (the candidate node configurations
+// of the derived problem Π'_1): groups are sorted by set key and hold
+// multiplicities, mirroring Config but with set-valued entries.
+type setConfig struct {
+	groups []setGroup
+}
+
+type setGroup struct {
+	set   bitset.Set
+	count int
+}
+
+// newSetConfig normalizes groups: merges equal sets and sorts by key.
+func newSetConfig(groups []setGroup) setConfig {
+	merged := map[string]setGroup{}
+	for _, g := range groups {
+		if g.count == 0 {
+			continue
+		}
+		k := g.set.Key()
+		if prev, ok := merged[k]; ok {
+			prev.count += g.count
+			merged[k] = prev
+		} else {
+			merged[k] = setGroup{set: g.set, count: g.count}
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]setGroup, len(keys))
+	for i, k := range keys {
+		out[i] = merged[k]
+	}
+	return setConfig{groups: out}
+}
+
+// singletonSetConfig converts an ordinary configuration into a set-config
+// of singleton sets over an alphabet of the given size.
+func singletonSetConfig(cfg Config, alphabetSize int) setConfig {
+	groups := make([]setGroup, 0, 4)
+	cfg.ForEach(func(l Label, count int) {
+		s := bitset.New(alphabetSize)
+		s.Add(int(l))
+		groups = append(groups, setGroup{set: s, count: count})
+	})
+	return newSetConfig(groups)
+}
+
+// key returns a canonical identity string.
+func (sc setConfig) key() string {
+	var sb strings.Builder
+	for _, g := range sc.groups {
+		sb.WriteString(g.set.Key())
+		sb.WriteByte('#')
+		sb.WriteString(strconv.Itoa(g.count))
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// arity returns the total slot count.
+func (sc setConfig) arity() int {
+	total := 0
+	for _, g := range sc.groups {
+		total += g.count
+	}
+	return total
+}
+
+// withLabelAdded returns the set-config obtained by adding label l to one
+// copy of group gi (splitting the group if its multiplicity exceeds 1).
+func (sc setConfig) withLabelAdded(gi int, l Label) setConfig {
+	groups := make([]setGroup, 0, len(sc.groups)+1)
+	for i, g := range sc.groups {
+		if i != gi {
+			groups = append(groups, g)
+			continue
+		}
+		if g.count > 1 {
+			groups = append(groups, setGroup{set: g.set, count: g.count - 1})
+		}
+		ext := g.set.Clone()
+		ext.Add(int(l))
+		groups = append(groups, setGroup{set: ext, count: 1})
+	}
+	return newSetConfig(groups)
+}
+
+// withoutOneOf returns the set-config with one copy of group gi removed.
+func (sc setConfig) withoutOneOf(gi int) setConfig {
+	groups := make([]setGroup, 0, len(sc.groups))
+	for i, g := range sc.groups {
+		if i == gi {
+			if g.count > 1 {
+				groups = append(groups, setGroup{set: g.set, count: g.count - 1})
+			}
+			continue
+		}
+		groups = append(groups, g)
+	}
+	return setConfig{groups: groups}
+}
+
+// allChoicesIn reports whether every choice multiset (pick one element per
+// slot) together with the labels in extra belongs to h. It enumerates
+// choice multisets group-wise (combinations with repetition), which keeps
+// the work polynomial in the number of distinct choice multisets rather
+// than exponential in the arity.
+func (sc setConfig) allChoicesIn(h Constraint, extra []Label) bool {
+	counts := make(map[Label]int, 8)
+	for _, l := range extra {
+		counts[l]++
+	}
+	var rec func(gi int) bool
+	rec = func(gi int) bool {
+		if gi == len(sc.groups) {
+			c, err := NewConfigCounts(counts)
+			if err != nil {
+				return false
+			}
+			return h.Contains(c)
+		}
+		g := sc.groups[gi]
+		members := g.set.Indices()
+		var choose func(start, remaining int) bool
+		choose = func(start, remaining int) bool {
+			if remaining == 0 {
+				return rec(gi + 1)
+			}
+			for i := start; i < len(members); i++ {
+				l := Label(members[i])
+				counts[l]++
+				ok := choose(i, remaining-1)
+				counts[l]--
+				if counts[l] == 0 {
+					delete(counts, l)
+				}
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}
+		return choose(0, g.count)
+	}
+	return rec(0)
+}
+
+// maximalNodeSetConfigs enumerates the maximal set-configurations
+// {W_1, ..., W_Δ} such that every choice w_i ∈ W_i is a configuration of
+// half.Node — the node constraint of the simplified derived problem Π'_1
+// (Property 6 of Section 4.2).
+//
+// Algorithm: closure under the "combine" operation with antichain
+// (domination) pruning. Combining two valid set-configs A, B means fixing
+// a perfect matching between their slots, taking the union at one matched
+// pair and intersections at all others. The result is always valid: a
+// choice picking from the A-side of the union slot picks entrywise from A
+// (intersections are subsets of A's entries), and symmetrically for B.
+//
+// Completeness (every maximal valid config ends up in the antichain), by
+// induction on the total size of a valid config V: split one entry of V as
+// X1 ∪ X2; the two smaller valid configs are dominated by antichain
+// members W1, W2 by induction, and combining W1 with W2 under the matching
+// that aligns the dominated slots yields a config dominating V. Domination
+// pruning is safe because combinations from a dominator dominate the
+// corresponding combinations from the dominated config.
+//
+// Configurations with an empty entry are discarded: they are vacuously
+// valid but cannot occur in a solution (the empty label survives no edge
+// constraint), and the completeness induction never needs them.
+// scItem wraps a set-config with cached invariants that let most
+// domination tests fail fast.
+type scItem struct {
+	sc          setConfig
+	sortedSizes []int      // entry sizes ascending
+	union       bitset.Set // union of all entries
+	total       int        // sum of entry sizes
+}
+
+func newSCItem(sc setConfig, alphabetSize int) scItem {
+	it := scItem{sc: sc, union: bitset.New(alphabetSize)}
+	for _, g := range sc.groups {
+		sz := g.set.Count()
+		for c := 0; c < g.count; c++ {
+			it.sortedSizes = append(it.sortedSizes, sz)
+			it.total += sz
+		}
+		it.union.UnionInPlace(g.set)
+	}
+	sort.Ints(it.sortedSizes)
+	return it
+}
+
+// dominatedBy reports whether a ⊑ b, using the cached invariants as
+// necessary-condition prefilters before the bipartite matching test.
+func (a scItem) dominatedBy(b scItem) bool {
+	if a.total > b.total || len(a.sortedSizes) != len(b.sortedSizes) {
+		return false
+	}
+	for i, sz := range a.sortedSizes {
+		// If a slot-size bijection with entrywise ⊆ exists, the ascending
+		// size sequences are pointwise ordered.
+		if sz > b.sortedSizes[i] {
+			return false
+		}
+	}
+	if !a.union.SubsetOf(b.union) {
+		return false
+	}
+	return a.sc.dominatedBy(b.sc)
+}
+
+// maximalNodeSetConfigs dispatches to the configured enumeration strategy.
+func maximalNodeSetConfigs(half *Problem, o speedupOptions) ([]setConfig, error) {
+	switch o.strategy {
+	case StrategyCombine:
+		return maximalNodeSetConfigsCombine(half, o.maxStates)
+	default:
+		return maximalNodeSetConfigsExplore(half, o.maxStates)
+	}
+}
+
+// maximalNodeSetConfigsExplore enumerates maximal valid set-configurations
+// by upward exploration: starting from the configurations of half.Node (as
+// singleton set-configs), repeatedly add a single label to a single slot,
+// keeping only additions that preserve validity ("every choice lies in
+// half.Node"). Every intermediate state on the way to a maximal
+// configuration T is entrywise between one of T's choice lines and T
+// itself, hence valid, so the exploration is complete; a configuration
+// with no valid single-label extension is maximal because supersets of
+// invalid configurations are invalid.
+//
+// The state space is the set of all valid set-configurations, which is the
+// right trade-off when that space is moderate (e.g. the weak 2-coloring
+// derivation of Section 4.6 for Δ up to ~8). For problems with a large
+// valid space but a small antichain, use StrategyCombine.
+func maximalNodeSetConfigsExplore(half *Problem, maxStates int) ([]setConfig, error) {
+	n := half.Alpha.Size()
+	if half.Delta() > 255 {
+		return nil, fmt.Errorf("core: second half step: Δ=%d exceeds the supported 255", half.Delta())
+	}
+	valid := newFastNodeSet(half)
+
+	visited := map[string]bool{}
+	maximal := map[string]setConfig{}
+	var stack []setConfig
+	for _, cfg := range half.Node.Configs() {
+		sc := singletonSetConfig(cfg, n)
+		k := sc.key()
+		if !visited[k] {
+			visited[k] = true
+			stack = append(stack, sc)
+		}
+	}
+
+	extMemo := map[string]bool{}
+	for len(stack) > 0 {
+		sc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		extended := false
+		for gi := range sc.groups {
+			g := sc.groups[gi]
+			reduced := sc.withoutOneOf(gi)
+			reducedKey := reduced.key()
+			for l := 0; l < n; l++ {
+				if g.set.Contains(l) {
+					continue
+				}
+				// Adding l to one copy of group gi introduces exactly the
+				// choices where that copy picks l; all other choices are
+				// choices of sc and already valid.
+				memoKey := reducedKey + "+" + strconv.Itoa(l)
+				ok, seen := extMemo[memoKey]
+				if !seen {
+					ok = valid.allChoices(reduced.groups, Label(l))
+					extMemo[memoKey] = ok
+				}
+				if !ok {
+					continue
+				}
+				extended = true
+				next := sc.withLabelAdded(gi, Label(l))
+				k := next.key()
+				if !visited[k] {
+					if len(visited) >= maxStates {
+						return nil, fmt.Errorf("core: second half step: exceeded state budget of %d set-configurations", maxStates)
+					}
+					visited[k] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		if !extended {
+			maximal[sc.key()] = sc
+		}
+	}
+
+	keys := make([]string, 0, len(maximal))
+	for k := range maximal {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]setConfig, len(keys))
+	for i, k := range keys {
+		out[i] = maximal[k]
+	}
+	return out, nil
+}
+
+// fastNodeSet is a multiplicity-vector index of a node constraint for fast
+// "is this choice multiset allowed" queries during enumeration.
+type fastNodeSet struct {
+	m   int
+	set map[string]bool
+}
+
+func newFastNodeSet(p *Problem) fastNodeSet {
+	f := fastNodeSet{m: p.Alpha.Size(), set: make(map[string]bool, p.Node.Size())}
+	for _, cfg := range p.Node.Configs() {
+		counts := make([]byte, f.m)
+		cfg.ForEach(func(l Label, c int) { counts[l] = byte(c) })
+		f.set[string(counts)] = true
+	}
+	return f
+}
+
+// allChoices reports whether every choice multiset from groups, plus one
+// occurrence of extra, is an allowed configuration.
+func (f fastNodeSet) allChoices(groups []setGroup, extra Label) bool {
+	counts := make([]byte, f.m)
+	counts[extra]++
+	members := make([][]int, len(groups))
+	for i, g := range groups {
+		members[i] = g.set.Indices()
+	}
+	var rec func(gi int) bool
+	rec = func(gi int) bool {
+		if gi == len(groups) {
+			return f.set[string(counts)]
+		}
+		g := groups[gi]
+		var choose func(start, remaining int) bool
+		choose = func(start, remaining int) bool {
+			if remaining == 0 {
+				return rec(gi + 1)
+			}
+			for i := start; i < len(members[gi]); i++ {
+				l := members[gi][i]
+				counts[l]++
+				ok := choose(i, remaining-1)
+				counts[l]--
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}
+		return choose(0, g.count)
+	}
+	return rec(0)
+}
+
+// maximalNodeSetConfigsCombine enumerates maximal valid set-configurations
+// via closure under the combine operation with antichain pruning; see the
+// package documentation of combineAll. Better suited than exploration when
+// the space of valid configurations is huge but the antichain is small.
+func maximalNodeSetConfigsCombine(half *Problem, maxStates int) ([]setConfig, error) {
+	n := half.Alpha.Size()
+
+	var items []scItem
+	var alive []bool
+	seen := map[string]bool{}
+
+	insert := func(sc setConfig) error {
+		k := sc.key()
+		if seen[k] {
+			// Already processed; if it was killed, its dominator covers it.
+			return nil
+		}
+		seen[k] = true
+		it := newSCItem(sc, n)
+		for i := range items {
+			if alive[i] && it.dominatedBy(items[i]) {
+				return nil
+			}
+		}
+		for i := range items {
+			if alive[i] && items[i].dominatedBy(it) {
+				alive[i] = false
+			}
+		}
+		if len(items) >= maxStates {
+			return fmt.Errorf("core: second half step: exceeded state budget of %d set-configurations", maxStates)
+		}
+		items = append(items, it)
+		alive = append(alive, true)
+		return nil
+	}
+
+	for _, cfg := range half.Node.Configs() {
+		if err := insert(singletonSetConfig(cfg, n)); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < len(items); i++ {
+		if !alive[i] {
+			continue
+		}
+		for j := 0; j <= i && alive[i]; j++ {
+			if !alive[j] {
+				continue
+			}
+			var combineErr error
+			combineAll(items[i].sc, items[j].sc, func(c setConfig) bool {
+				if combineErr == nil {
+					combineErr = insert(c)
+				}
+				return combineErr == nil
+			})
+			if combineErr != nil {
+				return nil, combineErr
+			}
+		}
+	}
+
+	maximal := map[string]setConfig{}
+	for i, it := range items {
+		if alive[i] {
+			maximal[it.sc.key()] = it.sc
+		}
+	}
+	keys := make([]string, 0, len(maximal))
+	for k := range maximal {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]setConfig, len(keys))
+	for i, k := range keys {
+		out[i] = maximal[k]
+	}
+	return out, nil
+}
+
+// combineAll enumerates the results of combining set-configs a and b under
+// every perfect slot matching and every choice of union slot, emitting
+// each candidate that has no empty entry. Matchings are enumerated as
+// contingency tables between the group multiplicities, which collapses the
+// factorially many slot matchings to their distinct outcomes. emit returns
+// false to stop early.
+func combineAll(a, b setConfig, emit func(setConfig) bool) {
+	ra, rb := len(a.groups), len(b.groups)
+	if ra == 0 || rb == 0 {
+		return
+	}
+	// inter[i][j] caches A_i ∩ B_j.
+	inter := make([][]bitset.Set, ra)
+	for i := range inter {
+		inter[i] = make([]bitset.Set, rb)
+		for j := range inter[i] {
+			inter[i][j] = a.groups[i].set.Intersect(b.groups[j].set)
+		}
+	}
+
+	rowRemaining := make([]int, ra)
+	for i := range rowRemaining {
+		rowRemaining[i] = a.groups[i].count
+	}
+	colRemaining := make([]int, rb)
+	for j := range colRemaining {
+		colRemaining[j] = b.groups[j].count
+	}
+	table := make([][]int, ra)
+	for i := range table {
+		table[i] = make([]int, rb)
+	}
+
+	emitTable := func() bool {
+		// At most one slot may sit on an empty intersection cell (checked
+		// during enumeration), and then only when the union replaces it.
+		emptyI, emptyJ, emptyCount := -1, -1, 0
+		for i := 0; i < ra; i++ {
+			for j := 0; j < rb; j++ {
+				if table[i][j] > 0 && inter[i][j].Empty() {
+					emptyCount += table[i][j]
+					emptyI, emptyJ = i, j
+				}
+			}
+		}
+		if emptyCount > 1 {
+			return true
+		}
+		buildGroups := func(ui, uj int) []setGroup {
+			groups := make([]setGroup, 0, ra*rb+1)
+			for i := 0; i < ra; i++ {
+				for j := 0; j < rb; j++ {
+					c := table[i][j]
+					if c == 0 {
+						continue
+					}
+					if i == ui && j == uj {
+						c--
+					}
+					if c > 0 {
+						groups = append(groups, setGroup{set: inter[i][j], count: c})
+					}
+				}
+			}
+			groups = append(groups, setGroup{set: a.groups[ui].set.Union(b.groups[uj].set), count: 1})
+			return groups
+		}
+		if emptyCount == 1 {
+			// The union must replace the single empty slot.
+			return emit(newSetConfig(buildGroups(emptyI, emptyJ)))
+		}
+		for i := 0; i < ra; i++ {
+			for j := 0; j < rb; j++ {
+				if table[i][j] == 0 {
+					continue
+				}
+				if !emit(newSetConfig(buildGroups(i, j))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// Enumerate contingency tables cell by cell in row-major order,
+	// pruning as soon as two or more slots would land on empty
+	// intersection cells (such candidates always contain an empty entry).
+	var rec func(i, j, emptyUsed int) bool
+	rec = func(i, j, emptyUsed int) bool {
+		if i == ra {
+			return emitTable()
+		}
+		ni, nj := i, j+1
+		if nj == rb {
+			ni, nj = i+1, 0
+		}
+		cellEmpty := inter[i][j].Empty()
+		lastInRow := j == rb-1
+		if lastInRow {
+			// The last cell of a row is forced to absorb the remainder.
+			c := rowRemaining[i]
+			if c > colRemaining[j] {
+				return true
+			}
+			eu := emptyUsed
+			if cellEmpty {
+				eu += c
+			}
+			if eu > 1 {
+				return true
+			}
+			table[i][j] = c
+			rowRemaining[i] -= c
+			colRemaining[j] -= c
+			ok := rec(ni, nj, eu)
+			rowRemaining[i] += c
+			colRemaining[j] += c
+			table[i][j] = 0
+			return ok
+		}
+		maxHere := rowRemaining[i]
+		if colRemaining[j] < maxHere {
+			maxHere = colRemaining[j]
+		}
+		if cellEmpty && maxHere > 1-emptyUsed {
+			maxHere = 1 - emptyUsed
+		}
+		for c := 0; c <= maxHere; c++ {
+			eu := emptyUsed
+			if cellEmpty {
+				eu += c
+			}
+			table[i][j] = c
+			rowRemaining[i] -= c
+			colRemaining[j] -= c
+			ok := rec(ni, nj, eu)
+			rowRemaining[i] += c
+			colRemaining[j] += c
+			table[i][j] = 0
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0, 0)
+}
+
+// dominatedBy reports whether sc is entrywise dominated by other: there is
+// a matching between slots such that each set of sc is a subset of its
+// partner in other. Used by reference implementations and tests.
+func (sc setConfig) dominatedBy(other setConfig) bool {
+	if sc.arity() != other.arity() {
+		return false
+	}
+	// Bipartite matching between expanded slots with the subset relation.
+	left := sc.expand()
+	right := other.expand()
+	adj := make([][]int, len(left))
+	for i, a := range left {
+		for j, b := range right {
+			if a.SubsetOf(b) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	matchR := make([]int, len(right))
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var try func(u int, seen []bool) bool
+	try = func(u int, seen []bool) bool {
+		for _, v := range adj[u] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if matchR[v] == -1 || try(matchR[v], seen) {
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	for u := range left {
+		seen := make([]bool, len(right))
+		if !try(u, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// expand returns the slots of the set-config as a flat slice of sets.
+func (sc setConfig) expand() []bitset.Set {
+	out := make([]bitset.Set, 0, sc.arity())
+	for _, g := range sc.groups {
+		for i := 0; i < g.count; i++ {
+			out = append(out, g.set)
+		}
+	}
+	return out
+}

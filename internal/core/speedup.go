@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Strategy selects the algorithm used to enumerate the maximal node
+// configurations of the derived problem Π'_1.
+type Strategy int
+
+// Enumeration strategies. Both are exact; they differ in what they scale
+// with. Exploration visits every valid set-configuration (fast when that
+// space is moderate); Combine maintains an antichain closed under the
+// combine operation (fast when the antichain is small even though the
+// valid space is huge).
+const (
+	StrategyExplore Strategy = iota + 1
+	StrategyCombine
+)
+
+// speedupOptions carries tunables for the speedup transformation.
+type speedupOptions struct {
+	maxStates int
+	strategy  Strategy
+}
+
+// Option configures Speedup, HalfStep and SecondHalfStep.
+type Option func(*speedupOptions)
+
+// defaultMaxStates bounds the search space of the maximal-configuration
+// enumeration; derived problems beyond this size are rejected rather than
+// silently truncated.
+const defaultMaxStates = 4_000_000
+
+// WithMaxStates overrides the safety cap on the number of intermediate
+// set-configurations explored while computing the maximal node constraint.
+func WithMaxStates(n int) Option {
+	return func(o *speedupOptions) { o.maxStates = n }
+}
+
+// WithStrategy selects the maximal-configuration enumeration strategy.
+func WithStrategy(s Strategy) Option {
+	return func(o *speedupOptions) { o.strategy = s }
+}
+
+func buildOptions(opts []Option) speedupOptions {
+	o := speedupOptions{maxStates: defaultMaxStates, strategy: StrategyExplore}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// HalfStep derives the simplified problem Π'_{1/2} from Π (Section 4.1
+// first step, with the maximality constraint of Property 5, Section 4.2).
+//
+// Labels of Π'_{1/2} are sets of labels of Π. The edge constraint contains
+// exactly the multisets {Y, Z} such that every pair (y ∈ Y, z ∈ Z) is in
+// g(Δ) and both sets are maximal with this property; the node constraint
+// contains the multisets {Y_1, ..., Y_Δ} admitting a choice y_i ∈ Y_i with
+// {y_1, ..., y_Δ} ∈ h(Δ) (Property 2).
+//
+// Maximal pairs form a Galois connection: {Y, Z} is maximal iff
+// Z = comp(Y) and Y = comp(Z), where comp(S) is the set of labels
+// edge-compatible with all of S. The closed sets are exactly the
+// intersections of the per-label compatibility sets, which this function
+// enumerates directly (no power-set sweep).
+func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
+	o := buildOptions(opts)
+	n := p.Alpha.Size()
+	rel := newEdgeRelation(p.Edge, n)
+
+	closed := closedSets(rel, n)
+
+	// New alphabet: closed sets, in deterministic order.
+	sets := make([]bitset.Set, 0, len(closed))
+	keys := make([]string, 0, len(closed))
+	byKey := make(map[string]bitset.Set, len(closed))
+	for _, s := range closed {
+		k := s.Key()
+		if _, dup := byKey[k]; !dup {
+			byKey[k] = s
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	indexOf := make(map[string]Label, len(keys))
+	for i, k := range keys {
+		sets = append(sets, byKey[k])
+		indexOf[k] = Label(i)
+	}
+	alpha := derivedAlphabet(p.Alpha, sets)
+
+	// Edge constraint: {Y, comp(Y)} for each closed Y.
+	edge := NewConstraint(2)
+	for i, s := range sets {
+		partner := rel.comp(s)
+		j, ok := indexOf[partner.Key()]
+		if !ok {
+			// comp of a closed set is closed, so it must be present.
+			return nil, fmt.Errorf("core: half step: comp image not closed (internal error)")
+		}
+		edge.MustAdd(NewConfig(Label(i), j))
+	}
+
+	// Node constraint: lift every h-configuration through all coverings.
+	// candidates[y] lists the new labels whose set contains old label y.
+	candidates := make([][]Label, n)
+	for i, s := range sets {
+		s.ForEach(func(y int) bool {
+			candidates[y] = append(candidates[y], Label(i))
+			return true
+		})
+	}
+	node := NewConstraint(p.Delta())
+	budget := o.maxStates
+	for _, cfg := range p.Node.Configs() {
+		if err := liftConfig(cfg, candidates, node, &budget); err != nil {
+			return nil, err
+		}
+	}
+
+	derived := &Problem{Alpha: alpha, Edge: edge, Node: node}
+	return derived.Compress(), nil
+}
+
+// closedSets returns all intersections of per-label compatibility sets,
+// including the full set (the empty intersection).
+func closedSets(rel edgeRelation, n int) []bitset.Set {
+	acc := map[string]bitset.Set{}
+	full := bitset.Full(n)
+	acc[full.Key()] = full
+	for z := 0; z < n; z++ {
+		nb := rel.neighbors[z]
+		// Intersect nb with everything collected so far.
+		add := make([]bitset.Set, 0, len(acc))
+		for _, s := range acc {
+			add = append(add, s.Intersect(nb))
+		}
+		for _, s := range add {
+			acc[s.Key()] = s
+		}
+	}
+	out := make([]bitset.Set, 0, len(acc))
+	for _, s := range acc {
+		out = append(out, s)
+	}
+	return out
+}
+
+// liftConfig enumerates all multisets of new labels covering cfg: every
+// slot holding old label y is replaced by a new label whose set contains y.
+// Results are inserted into dst.
+func liftConfig(cfg Config, candidates [][]Label, dst Constraint, budget *int) error {
+	type group struct {
+		cands []Label
+		count int
+	}
+	groups := make([]group, 0, 4)
+	feasible := true
+	cfg.ForEach(func(l Label, count int) {
+		if len(candidates[l]) == 0 {
+			feasible = false
+			return
+		}
+		groups = append(groups, group{cands: candidates[l], count: count})
+	})
+	if !feasible {
+		return nil
+	}
+
+	counts := make(map[Label]int)
+	var rec func(gi int) error
+	rec = func(gi int) error {
+		if gi == len(groups) {
+			*budget--
+			if *budget < 0 {
+				return fmt.Errorf("core: half step: derived node constraint exceeds state budget")
+			}
+			c, err := NewConfigCounts(counts)
+			if err != nil {
+				return err
+			}
+			return dst.Add(c)
+		}
+		g := groups[gi]
+		// Choose a multiset of size g.count from g.cands: iterate
+		// non-decreasing index sequences.
+		var choose func(start, remaining int) error
+		choose = func(start, remaining int) error {
+			if remaining == 0 {
+				return rec(gi + 1)
+			}
+			for i := start; i < len(g.cands); i++ {
+				counts[g.cands[i]]++
+				if err := choose(i, remaining-1); err != nil {
+					return err
+				}
+				counts[g.cands[i]]--
+				if counts[g.cands[i]] == 0 {
+					delete(counts, g.cands[i])
+				}
+			}
+			return nil
+		}
+		return choose(0, g.count)
+	}
+	return rec(0)
+}
+
+// SecondHalfStep derives the simplified problem Π'_1 from Π'_{1/2}
+// (Section 4.1 second step with the maximality constraint of Property 6).
+//
+// Labels of Π'_1 are sets of labels of Π'_{1/2}. The node constraint
+// contains the multisets {W_1, ..., W_Δ} such that every choice
+// w_i ∈ W_i lies in the node constraint of Π'_{1/2} and the multiset is
+// maximal with this property; the edge constraint contains the multisets
+// {W, X} admitting w ∈ W, x ∈ X with {w, x} in the edge constraint of
+// Π'_{1/2} (Property 3).
+func SecondHalfStep(half *Problem, opts ...Option) (*Problem, error) {
+	o := buildOptions(opts)
+	maximal, err := maximalNodeSetConfigs(half, o)
+	if err != nil {
+		return nil, err
+	}
+
+	// New alphabet: the distinct sets appearing in maximal configurations.
+	byKey := map[string]bitset.Set{}
+	keys := []string{}
+	for _, sc := range maximal {
+		for _, g := range sc.groups {
+			k := g.set.Key()
+			if _, ok := byKey[k]; !ok {
+				byKey[k] = g.set
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	sets := make([]bitset.Set, len(keys))
+	indexOf := make(map[string]Label, len(keys))
+	for i, k := range keys {
+		sets[i] = byKey[k]
+		indexOf[k] = Label(i)
+	}
+	alpha := derivedAlphabet(half.Alpha, sets)
+
+	// Node constraint from the maximal set-configurations.
+	node := NewConstraint(half.Delta())
+	for _, sc := range maximal {
+		counts := make(map[Label]int, len(sc.groups))
+		for _, g := range sc.groups {
+			counts[indexOf[g.set.Key()]] += g.count
+		}
+		c, err := NewConfigCounts(counts)
+		if err != nil {
+			return nil, err
+		}
+		if err := node.Add(c); err != nil {
+			return nil, err
+		}
+	}
+
+	// Edge constraint: existential lift of the half problem's relation.
+	rel := newEdgeRelation(half.Edge, half.Alpha.Size())
+	edge := NewConstraint(2)
+	for i := range sets {
+		// reach = union of compatibility neighborhoods of members of W.
+		reach := bitset.New(half.Alpha.Size())
+		sets[i].ForEach(func(w int) bool {
+			reach.UnionInPlace(rel.neighbors[w])
+			return true
+		})
+		for j := i; j < len(sets); j++ {
+			if reach.Intersects(sets[j]) {
+				edge.MustAdd(NewConfig(Label(i), Label(j)))
+			}
+		}
+	}
+
+	derived := &Problem{Alpha: alpha, Edge: edge, Node: node}
+	return derived.Compress(), nil
+}
+
+// Speedup applies one full round elimination step: Π → Π'_{1/2} → Π'_1,
+// returning the compressed derived problem. By Theorems 1 and 2, on
+// t-independent graph classes of girth ≥ 2t+2 (with edge orientations in
+// the input for the simplification), Π is solvable in t rounds iff the
+// returned problem is solvable in t−1 rounds.
+func Speedup(p *Problem, opts ...Option) (*Problem, error) {
+	half, err := HalfStep(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return SecondHalfStep(half, opts...)
+}
+
+// SpeedupSequence applies Speedup iteratively, renaming labels compactly
+// after each step, and returns the sequence [Π_1, Π_2, ..., Π_steps]. It
+// stops early (returning the shorter sequence and no error) if a derived
+// problem becomes empty (no usable configurations).
+func SpeedupSequence(p *Problem, steps int, opts ...Option) ([]*Problem, error) {
+	out := make([]*Problem, 0, steps)
+	cur := p
+	for i := 0; i < steps; i++ {
+		next, err := Speedup(cur, opts...)
+		if err != nil {
+			return out, err
+		}
+		next, _ = next.RenameCompact()
+		out = append(out, next)
+		if next.Node.Size() == 0 || next.Edge.Size() == 0 {
+			return out, nil
+		}
+		cur = next
+	}
+	return out, nil
+}

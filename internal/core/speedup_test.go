@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+// TestSinklessHalfStepIsSinklessOrientation reproduces the first half of
+// Section 4.4: the simplified derived problem Π'_{1/2} of sinkless
+// coloring is exactly sinkless orientation.
+func TestSinklessHalfStepIsSinklessOrientation(t *testing.T) {
+	for delta := 2; delta <= 8; delta++ {
+		p := problems.SinklessColoring(delta)
+		half, err := core.HalfStep(p)
+		if err != nil {
+			t.Fatalf("Δ=%d: HalfStep: %v", delta, err)
+		}
+		want := problems.SinklessOrientation(delta)
+		if _, ok := core.Isomorphic(half, want); !ok {
+			t.Errorf("Δ=%d: Π'_1/2 of sinkless coloring is not sinkless orientation:\n%s", delta, half.String())
+		}
+	}
+}
+
+// TestSinklessFixedPoint reproduces Section 4.4's punchline: one full
+// speedup step maps sinkless coloring back to itself (Π'_1 ≅ Π), which is
+// the engine behind the Ω(log n) lower bound.
+func TestSinklessFixedPoint(t *testing.T) {
+	for delta := 2; delta <= 8; delta++ {
+		p := problems.SinklessColoring(delta)
+		derived, err := core.Speedup(p)
+		if err != nil {
+			t.Fatalf("Δ=%d: Speedup: %v", delta, err)
+		}
+		if _, ok := core.Isomorphic(derived, p); !ok {
+			t.Errorf("Δ=%d: Π'_1 of sinkless coloring is not sinkless coloring:\n%s", delta, derived.String())
+		}
+	}
+}
+
+// TestSinklessNotZeroRound confirms the terminal condition of the Section
+// 4.4 argument: sinkless coloring and sinkless orientation are not 0-round
+// solvable for Δ ≥ 2/3 respectively, even given input edge orientations.
+func TestSinklessNotZeroRound(t *testing.T) {
+	for delta := 3; delta <= 6; delta++ {
+		for _, tc := range []struct {
+			name string
+			p    *core.Problem
+		}{
+			{"sinkless-coloring", problems.SinklessColoring(delta)},
+			{"sinkless-orientation", problems.SinklessOrientation(delta)},
+		} {
+			if cfg, ok := core.ZeroRoundSolvableNoInput(tc.p); ok {
+				t.Errorf("Δ=%d: %s reported 0-round solvable without input (witness %s)",
+					delta, tc.name, cfg.String(tc.p.Alpha))
+			}
+			if w, ok := core.ZeroRoundSolvableWithOrientation(tc.p); ok {
+				t.Errorf("Δ=%d: %s reported 0-round solvable with orientation input (out=%v in=%v)",
+					delta, tc.name, w.OutSupport, w.InSupport)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+// This file reproduces the Section 4.6 derivation for the pointer version
+// of weak 2-coloring (Experiment E3).
+
+// TestWeak2HalfHasSevenUsableOutputs checks the paper's count: "there are
+// only 7 outputs that can be used by any correct algorithm for Π'_{1/2}".
+func TestWeak2HalfHasSevenUsableOutputs(t *testing.T) {
+	for delta := 2; delta <= 5; delta++ {
+		p := problems.WeakTwoColoringPointer(delta)
+		half, err := core.HalfStep(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if half.Alpha.Size() != 7 {
+			t.Errorf("Δ=%d: Π'_1/2 has %d usable labels, paper says 7", delta, half.Alpha.Size())
+		}
+		// The paper lists 5 maximal edge configurations of which one (the
+		// one with an empty side) is unusable, leaving 4.
+		if half.Edge.Size() != 4 {
+			t.Errorf("Δ=%d: Π'_1/2 has %d usable edge configs, paper's list leaves 4", delta, half.Edge.Size())
+		}
+	}
+}
+
+// TestWeak2TritDescription verifies the equivalent trit-sequence
+// description of Section 4.6: labels are the 7 length-2 trit sequences
+// excluding 00 and 22; edges pair sequences whose tritwise sum is 22.
+func TestWeak2TritDescription(t *testing.T) {
+	p := problems.WeakTwoColoringPointer(3)
+	half, err := core.HalfStep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the trit description explicitly.
+	want := core.MustParse(`
+node:
+20 10 10
+10 20 20
+02 01 01
+01 02 02
+20 10 11
+10 20 21
+02 01 11
+01 02 12
+11 20 02
+11 10 01
+21 12 11
+# ... the node constraint is large; we only compare edges and labels,
+# which characterize the description, below.
+edge:
+20 02
+10 12
+01 21
+11 11
+`)
+	_ = want
+	// Instead of enumerating the full trit node constraint by hand (the
+	// paper doesn't either), verify the bijection on labels and edges:
+	// map each label's provenance to its trit sequence.
+	tritOf := func(l core.Label) string {
+		prov, ok := half.Alpha.Provenance(l)
+		if !ok {
+			t.Fatalf("label %d has no provenance", l)
+		}
+		// Original alphabet: 1>, 1., 2>, 2. at indices 0..3. Trit at
+		// position c = |prov ∩ {(c,>),(c,.)}|.
+		trit := func(c int) int {
+			count := 0
+			if prov.Contains(2 * c) {
+				count++
+			}
+			if prov.Contains(2*c + 1) {
+				count++
+			}
+			return count
+		}
+		return string(rune('0'+trit(0))) + string(rune('0'+trit(1)))
+	}
+	seen := map[string]bool{}
+	for l := 0; l < half.Alpha.Size(); l++ {
+		s := tritOf(core.Label(l))
+		if s == "00" || s == "22" {
+			t.Errorf("unusable trit sequence %s appears", s)
+		}
+		if seen[s] {
+			t.Errorf("trit sequence %s duplicated", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("got %d distinct trit sequences, want 7", len(seen))
+	}
+	// Edge constraint: tritwise sum 22.
+	for _, cfg := range half.Edge.Configs() {
+		labels := cfg.Expand()
+		a, b := tritOf(labels[0]), tritOf(labels[1])
+		for i := 0; i < 2; i++ {
+			if (a[i]-'0')+(b[i]-'0') != 2 {
+				t.Errorf("edge pair %s/%s does not sum to 22", a, b)
+			}
+		}
+	}
+}
+
+// TestWeak2FullHasNineNodeConfigs checks the punchline of Section 4.6:
+// "h_1(Δ) actually contains only 9 elements (or fewer if Δ is very
+// small)".
+func TestWeak2FullHasNineNodeConfigs(t *testing.T) {
+	for delta := 3; delta <= 5; delta++ {
+		if testing.Short() && delta > 4 {
+			break
+		}
+		p := problems.WeakTwoColoringPointer(delta)
+		full, err := core.Speedup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Node.Size() != 9 {
+			t.Errorf("Δ=%d: Π'_1 has %d node configs, paper says 9", delta, full.Node.Size())
+		}
+	}
+	// Very small Δ: fewer.
+	p := problems.WeakTwoColoringPointer(2)
+	full, err := core.Speedup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Node.Size() > 9 {
+		t.Errorf("Δ=2: Π'_1 has %d node configs, expected at most 9", full.Node.Size())
+	}
+}
+
+// TestWeak2PointerVersionWellFormed sanity-checks the catalog problem
+// against the paper's formal description.
+func TestWeak2PointerVersionWellFormed(t *testing.T) {
+	p := problems.WeakTwoColoringPointer(3)
+	if p.Alpha.Size() != 4 || p.Node.Size() != 2 {
+		t.Fatalf("stats: %+v", p.Stats())
+	}
+	// g must allow (1,.)/(2,.) and reject (1,>)/(1,>).
+	lookup := func(name string) core.Label {
+		l, ok := p.Alpha.Lookup(name)
+		if !ok {
+			t.Fatalf("label %q missing", name)
+		}
+		return l
+	}
+	if !p.Edge.ContainsLabels(lookup("1."), lookup("2.")) {
+		t.Error("different colors rejected")
+	}
+	if p.Edge.ContainsLabels(lookup("1>"), lookup("1>")) {
+		t.Error("same color with two pointers accepted")
+	}
+	if p.Edge.ContainsLabels(lookup("1>"), lookup("1.")) {
+		t.Error("pointer to same color accepted")
+	}
+	if !p.Edge.ContainsLabels(lookup("1>"), lookup("2.")) {
+		t.Error("pointer to different color rejected")
+	}
+	// Weak 2-coloring is not 0-round solvable even with orientations.
+	if _, ok := core.ZeroRoundSolvableWithOrientation(p); ok {
+		t.Error("weak 2-coloring pointer version reported 0-round solvable")
+	}
+	if strings.Count(p.String(), "\n") < 4 {
+		t.Error("String suspiciously short")
+	}
+}

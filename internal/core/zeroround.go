@@ -1,0 +1,136 @@
+package core
+
+import (
+	"repro/internal/bitset"
+)
+
+// This file implements exact characterizations of 0-round solvability in
+// the port numbering model, the termination test of the paper's
+// lower-bound recipe (Section 2.1: "determine which is the first problem
+// in the sequence that is solvable in 0 rounds").
+//
+// A 0-round algorithm assigns output labels to a node's ports using only
+// the information available before any communication. Two settings are
+// supported, matching the input families the paper works with:
+//
+//   - no input at all (pure port numbering on Δ-regular graphs), and
+//   - an arbitrary edge orientation given as input (the symmetry-breaking
+//     input Theorem 2 requires).
+
+// ZeroRoundSolvableNoInput reports whether the problem admits a 0-round
+// algorithm on Δ-regular graphs in the plain port numbering model, along
+// with a witness node configuration when it does.
+//
+// With no input, every node must output the same multiset C ∈ h(Δ) of
+// labels on its ports (ports are assigned adversarially, so the assignment
+// of C's elements to ports is irrelevant), and the adversary can make any
+// port of one node share an edge with any port of another. Hence the
+// problem is solvable iff some C ∈ h(Δ) satisfies {y, z} ∈ g(Δ) for every
+// pair y, z of (not necessarily distinct) labels in C's support.
+func ZeroRoundSolvableNoInput(p *Problem) (Config, bool) {
+	rel := newEdgeRelation(p.Edge, p.Alpha.Size())
+	for _, cfg := range p.Node.Configs() {
+		support := cfg.Support()
+		ok := true
+	outer:
+		for _, y := range support {
+			for _, z := range support {
+				if !rel.compatible(y, z) {
+					ok = false
+					break outer
+				}
+			}
+		}
+		if ok {
+			return cfg, true
+		}
+	}
+	return Config{}, false
+}
+
+// OrientedWitness describes a 0-round algorithm in the edge-orientation
+// input model: OutSupport and InSupport are the label sets used on
+// out-ports and in-ports, and PerInDegree[d] is the node configuration a
+// node with in-degree d outputs (split implicitly: d labels from
+// InSupport on in-ports, Δ−d labels from OutSupport on out-ports).
+type OrientedWitness struct {
+	OutSupport  bitset.Set
+	InSupport   bitset.Set
+	PerInDegree []Config
+}
+
+// ZeroRoundSolvableWithOrientation reports whether the problem admits a
+// 0-round algorithm on Δ-regular graphs whose input includes an arbitrary
+// orientation of every edge (each endpoint sees the direction of its
+// incident edges, nothing else).
+//
+// A 0-round algorithm may give a node with in-degree d any configuration
+// C(d) ∈ h(Δ), assigning labels to ports arbitrarily subject to the port's
+// orientation class. The adversary chooses the orientation and the port
+// numbers, so across an edge oriented u→v, any label u uses on an out-port
+// can meet any label v uses on an in-port. Solvability is therefore
+// equivalent to the existence of label sets P (out) and Q (in) with
+// P × Q ⊆ g(Δ), such that for every d ∈ {0..Δ} some C ∈ h(Δ) splits into
+// Δ−d labels from P and d labels from Q. P, Q can be assumed maximal, so
+// only the Galois-closed pairs of the edge relation need checking.
+func ZeroRoundSolvableWithOrientation(p *Problem) (OrientedWitness, bool) {
+	n := p.Alpha.Size()
+	rel := newEdgeRelation(p.Edge, n)
+	delta := p.Delta()
+
+	for _, out := range closedSets(rel, n) {
+		in := rel.comp(out)
+		witness := OrientedWitness{
+			OutSupport:  out,
+			InSupport:   in,
+			PerInDegree: make([]Config, delta+1),
+		}
+		ok := true
+		for d := 0; d <= delta; d++ {
+			cfg, found := splittableConfig(p.Node, out, in, d)
+			if !found {
+				ok = false
+				break
+			}
+			witness.PerInDegree[d] = cfg
+		}
+		if ok {
+			return witness, true
+		}
+	}
+	return OrientedWitness{}, false
+}
+
+// splittableConfig finds a node configuration that can be split into
+// inDegree labels from in-support and the rest from out-support.
+//
+// For a configuration C: a label with multiplicity m that lies only in out
+// must contribute all m to the out part; only in in → all to the in part;
+// in both → anywhere; in neither → C unusable. C splits for inDegree d iff
+// minIn ≤ d ≤ maxIn, where minIn counts labels outside out and maxIn
+// counts labels inside in.
+func splittableConfig(node Constraint, out, in bitset.Set, inDegree int) (Config, bool) {
+	for _, cfg := range node.Configs() {
+		minIn, maxIn := 0, 0
+		usable := true
+		cfg.ForEach(func(l Label, count int) {
+			inOut := out.Contains(int(l))
+			inIn := in.Contains(int(l))
+			switch {
+			case !inOut && !inIn:
+				usable = false
+			case !inOut:
+				minIn += count
+				maxIn += count
+			case !inIn:
+				// out only: contributes nothing to the in part.
+			default:
+				maxIn += count
+			}
+		})
+		if usable && minIn <= inDegree && inDegree <= maxIn {
+			return cfg, true
+		}
+	}
+	return Config{}, false
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestZeroRoundNoInputPositive(t *testing.T) {
+	// A problem where everyone can output the same label everywhere.
+	p := MustParse("node:\nA A A\nedge:\nA A")
+	cfg, ok := ZeroRoundSolvableNoInput(p)
+	if !ok {
+		t.Fatal("trivially solvable problem reported unsolvable")
+	}
+	if cfg.Arity() != 3 {
+		t.Error("witness has wrong arity")
+	}
+}
+
+func TestZeroRoundNoInputNegative(t *testing.T) {
+	// 2-coloring: the only configs are monochromatic but {A,A} is not an
+	// edge config.
+	p := MustParse("node:\nA A\nB B\nedge:\nA B")
+	if _, ok := ZeroRoundSolvableNoInput(p); ok {
+		t.Error("2-coloring reported 0-round solvable without input")
+	}
+}
+
+func TestZeroRoundNoInputMixedSupport(t *testing.T) {
+	// A config using two labels requires all pairs within the support.
+	p := MustParse("node:\nA B\nedge:\nA B")
+	// Pairs needed: {A,A}, {A,B}, {B,B}; only {A,B} present.
+	if _, ok := ZeroRoundSolvableNoInput(p); ok {
+		t.Error("missing same-label pairs not detected")
+	}
+	q := MustParse("node:\nA B\nedge:\nA B\nA A\nB B")
+	if _, ok := ZeroRoundSolvableNoInput(q); !ok {
+		t.Error("fully compatible support rejected")
+	}
+}
+
+func TestZeroRoundOrientationConsistentOrientationCopy(t *testing.T) {
+	// "Copy the input orientation": out-ports output O, in-ports output I;
+	// every edge carries {O, I}. Any in/out split must be allowed at a
+	// node, so h must contain all splits.
+	text := "node:\n"
+	for d := 0; d <= 3; d++ {
+		line := ""
+		if 3-d > 0 {
+			line += "O^" + itoa(3-d) + " "
+		}
+		if d > 0 {
+			line += "I^" + itoa(d)
+		}
+		text += line + "\n"
+	}
+	text += "edge:\nO I\n"
+	p := MustParse(text)
+	w, ok := ZeroRoundSolvableWithOrientation(p)
+	if !ok {
+		t.Fatal("orientation-copy problem reported unsolvable")
+	}
+	if len(w.PerInDegree) != 4 {
+		t.Errorf("witness covers %d in-degrees, want 4", len(w.PerInDegree))
+	}
+}
+
+func TestZeroRoundOrientationSinklessUnsolvable(t *testing.T) {
+	// Sinkless orientation: even given an input orientation (which may
+	// have sinks), 0 rounds do not suffice.
+	p := MustParse(`
+node:
+1 0 0
+1 1 0
+1 1 1
+edge:
+0 1
+`)
+	if _, ok := ZeroRoundSolvableWithOrientation(p); ok {
+		t.Error("sinkless orientation reported 0-round solvable with orientation input")
+	}
+}
+
+func TestZeroRoundOrientationSubsumesNoInput(t *testing.T) {
+	// Anything solvable without input is solvable with orientation input.
+	p := MustParse("node:\nA A A\nedge:\nA A")
+	if _, ok := ZeroRoundSolvableWithOrientation(p); !ok {
+		t.Error("orientation checker rejects a no-input-solvable problem")
+	}
+}
+
+func TestZeroRoundOrientationColoringUnsolvable(t *testing.T) {
+	// 2-coloring with orientation input: a node must be monochromatic, so
+	// only all-out or all-in splits exist; intermediate in-degrees fail.
+	p := MustParse("node:\nA A A\nB B B\nedge:\nA B")
+	if _, ok := ZeroRoundSolvableWithOrientation(p); ok {
+		t.Error("2-coloring reported 0-round solvable with orientation input")
+	}
+}
+
+func TestZeroRoundOrientationWitnessIsConsistent(t *testing.T) {
+	// The witness's per-in-degree configs must be genuine node configs and
+	// splittable as claimed.
+	p := MustParse(`
+node:
+O O
+O I
+I I
+edge:
+O I
+O O
+I I
+`)
+	w, ok := ZeroRoundSolvableWithOrientation(p)
+	if !ok {
+		t.Fatal("expected solvable")
+	}
+	for d, cfg := range w.PerInDegree {
+		if !p.Node.Contains(cfg) {
+			t.Errorf("in-degree %d witness %s not a node config", d, cfg.String(p.Alpha))
+		}
+	}
+}

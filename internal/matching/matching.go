@@ -1,0 +1,190 @@
+// Package matching implements maximum bipartite matching (Hopcroft–Karp)
+// and Hall-violator extraction.
+//
+// Lemma 2 of Brandt (PODC 2019) applies Hall's marriage theorem to a
+// bipartite graph built from a node configuration of the derived problem
+// Π'₁: either a perfect matching of the left side exists (which the lemma
+// turns into a contradiction), or there is a left subset J with
+// |J| > |N(J)| — the Hall violator that becomes the set of demanding
+// pointers in the superweak coloring transformation (Lemma 3).
+package matching
+
+// Bipartite is a bipartite graph with nLeft left vertices and nRight right
+// vertices; adj[u] lists the right neighbors of left vertex u.
+type Bipartite struct {
+	nLeft  int
+	nRight int
+	adj    [][]int
+}
+
+// NewBipartite returns an empty bipartite graph with the given part sizes.
+func NewBipartite(nLeft, nRight int) *Bipartite {
+	return &Bipartite{
+		nLeft:  nLeft,
+		nRight: nRight,
+		adj:    make([][]int, nLeft),
+	}
+}
+
+// AddEdge adds an edge between left vertex u and right vertex v.
+func (b *Bipartite) AddEdge(u, v int) {
+	if u < 0 || u >= b.nLeft || v < 0 || v >= b.nRight {
+		panic("matching: edge endpoint out of range")
+	}
+	b.adj[u] = append(b.adj[u], v)
+}
+
+// NLeft returns the number of left vertices.
+func (b *Bipartite) NLeft() int { return b.nLeft }
+
+// NRight returns the number of right vertices.
+func (b *Bipartite) NRight() int { return b.nRight }
+
+// Neighbors returns the right neighbors of left vertex u. The returned slice
+// must not be modified.
+func (b *Bipartite) Neighbors(u int) []int { return b.adj[u] }
+
+const unmatched = -1
+
+// Result holds a maximum matching. MatchLeft[u] is the right vertex matched
+// to left vertex u, or -1; MatchRight is the inverse map.
+type Result struct {
+	Size       int
+	MatchLeft  []int
+	MatchRight []int
+}
+
+// MaxMatching computes a maximum matching using the Hopcroft–Karp algorithm
+// in O(E·sqrt(V)).
+func MaxMatching(b *Bipartite) Result {
+	matchL := make([]int, b.nLeft)
+	matchR := make([]int, b.nRight)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+
+	dist := make([]int, b.nLeft)
+	queue := make([]int, 0, b.nLeft)
+
+	const inf = int(^uint(0) >> 1)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < b.nLeft; u++ {
+			if matchL[u] == unmatched {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range b.adj[u] {
+				w := matchR[v]
+				if w == unmatched {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range b.adj[u] {
+			w := matchR[v]
+			if w == unmatched || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for u := 0; u < b.nLeft; u++ {
+			if matchL[u] == unmatched && dfs(u) {
+				size++
+			}
+		}
+	}
+	return Result{Size: size, MatchLeft: matchL, MatchRight: matchR}
+}
+
+// HallViolator returns a subset J of left vertices with |J| > |N(J)|, or nil
+// if none exists (i.e. Hall's condition holds and a perfect matching of the
+// left side exists).
+//
+// When the maximum matching leaves some left vertex u unmatched, the set of
+// left vertices reachable from u by alternating paths is such a violator
+// (its neighborhood is exactly the matched right vertices reachable from u,
+// one fewer than the left set).
+func HallViolator(b *Bipartite) []int {
+	res := MaxMatching(b)
+	if res.Size == b.nLeft {
+		return nil
+	}
+	// Alternating BFS from all unmatched left vertices. Any one of them
+	// yields a violator; starting from all of them yields the (inclusion-
+	// wise largest) union, which is also a violator since the deficiency
+	// version of Hall's theorem is additive over reachable components.
+	inJ := make([]bool, b.nLeft)
+	seenR := make([]bool, b.nRight)
+	queue := make([]int, 0, b.nLeft)
+	for u := 0; u < b.nLeft; u++ {
+		if res.MatchLeft[u] == unmatched {
+			inJ[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range b.adj[u] {
+			if seenR[v] {
+				continue
+			}
+			seenR[v] = true
+			w := res.MatchRight[v]
+			if w != unmatched && !inJ[w] {
+				inJ[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	out := make([]int, 0, len(queue))
+	for u := 0; u < b.nLeft; u++ {
+		if inJ[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// NeighborhoodOf returns the union of neighborhoods of the given left
+// vertices, in increasing order.
+func NeighborhoodOf(b *Bipartite, left []int) []int {
+	seen := make([]bool, b.nRight)
+	for _, u := range left {
+		for _, v := range b.adj[u] {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, b.nRight)
+	for v, ok := range seen {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

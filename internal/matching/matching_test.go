@@ -1,0 +1,151 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPerfectMatchingSimple(t *testing.T) {
+	b := NewBipartite(3, 3)
+	// A triangle-ish bipartite graph with a unique perfect matching.
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 1)
+	b.AddEdge(2, 2)
+	res := MaxMatching(b)
+	if res.Size != 3 {
+		t.Fatalf("matching size = %d, want 3", res.Size)
+	}
+	if HallViolator(b) != nil {
+		t.Error("HallViolator returned non-nil despite perfect matching")
+	}
+}
+
+func TestHallViolatorStructure(t *testing.T) {
+	// Three left vertices sharing a single right vertex.
+	b := NewBipartite(3, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 0)
+	v := HallViolator(b)
+	if v == nil {
+		t.Fatal("expected a Hall violator")
+	}
+	nb := NeighborhoodOf(b, v)
+	if len(v) <= len(nb) {
+		t.Errorf("violator |J|=%d not greater than |N(J)|=%d", len(v), len(nb))
+	}
+}
+
+func TestIsolatedLeftVertex(t *testing.T) {
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	// Left vertex 1 has no edges.
+	v := HallViolator(b)
+	if v == nil {
+		t.Fatal("expected a Hall violator for isolated left vertex")
+	}
+	nb := NeighborhoodOf(b, v)
+	if len(v) <= len(nb) {
+		t.Errorf("violator |J|=%d not greater than |N(J)|=%d", len(v), len(nb))
+	}
+}
+
+// verifyMatching checks the matching arrays are mutually consistent and
+// use only real edges.
+func verifyMatching(t *testing.T, b *Bipartite, res Result) {
+	t.Helper()
+	count := 0
+	for u := 0; u < b.NLeft(); u++ {
+		v := res.MatchLeft[u]
+		if v == -1 {
+			continue
+		}
+		count++
+		if res.MatchRight[v] != u {
+			t.Fatalf("inconsistent matching arrays at left %d", u)
+		}
+		found := false
+		for _, w := range b.Neighbors(u) {
+			if w == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair (%d,%d) is not an edge", u, v)
+		}
+	}
+	if count != res.Size {
+		t.Fatalf("size %d does not match %d matched vertices", res.Size, count)
+	}
+}
+
+// bruteMaxMatching computes maximum matching size by exhaustive search.
+func bruteMaxMatching(b *Bipartite) int {
+	best := 0
+	usedR := make([]bool, b.NRight())
+	var rec func(u, size int)
+	rec = func(u, size int) {
+		if size > best {
+			best = size
+		}
+		if u == b.NLeft() {
+			return
+		}
+		rec(u+1, size)
+		for _, v := range b.Neighbors(u) {
+			if !usedR[v] {
+				usedR[v] = true
+				rec(u+1, size+1)
+				usedR[v] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nl := 1 + rng.Intn(7)
+		nr := 1 + rng.Intn(7)
+		b := NewBipartite(nl, nr)
+		for u := 0; u < nl; u++ {
+			for v := 0; v < nr; v++ {
+				if rng.Intn(3) == 0 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		res := MaxMatching(b)
+		verifyMatching(t, b, res)
+		if want := bruteMaxMatching(b); res.Size != want {
+			t.Fatalf("iter %d: matching size %d, want %d", iter, res.Size, want)
+		}
+		// Hall violator exists iff the left side is not perfectly matched,
+		// and when it exists it must truly violate Hall's condition.
+		v := HallViolator(b)
+		if (v == nil) != (res.Size == nl) {
+			t.Fatalf("iter %d: violator presence inconsistent with matching size", iter)
+		}
+		if v != nil {
+			nb := NeighborhoodOf(b, v)
+			if len(v) <= len(nb) {
+				t.Fatalf("iter %d: |J|=%d ≤ |N(J)|=%d", iter, len(v), len(nb))
+			}
+		}
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range edge")
+		}
+	}()
+	b := NewBipartite(1, 1)
+	b.AddEdge(1, 0)
+}

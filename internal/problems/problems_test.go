@@ -1,0 +1,137 @@
+package problems
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSinklessColoringShape(t *testing.T) {
+	for delta := 2; delta <= 6; delta++ {
+		p := SinklessColoring(delta)
+		if p.Delta() != delta || p.Alpha.Size() != 2 || p.Node.Size() != 1 || p.Edge.Size() != 2 {
+			t.Errorf("Δ=%d: unexpected stats %+v", delta, p.Stats())
+		}
+	}
+}
+
+func TestSinklessOrientationShape(t *testing.T) {
+	p := SinklessOrientation(4)
+	if p.Node.Size() != 4 { // out-degree 1..4
+		t.Errorf("node configs = %d, want 4", p.Node.Size())
+	}
+	if p.Edge.Size() != 1 {
+		t.Errorf("edge configs = %d, want 1", p.Edge.Size())
+	}
+	zero, _ := p.Alpha.Lookup("0")
+	one, _ := p.Alpha.Lookup("1")
+	if p.Edge.ContainsLabels(zero, zero) || p.Edge.ContainsLabels(one, one) {
+		t.Error("endpoints must disagree on orientation")
+	}
+}
+
+func TestKColoringShape(t *testing.T) {
+	p := KColoring(3, 2)
+	if p.Node.Size() != 3 || p.Edge.Size() != 3 {
+		t.Errorf("stats %+v", p.Stats())
+	}
+	// Monochromatic edges are forbidden.
+	for c := core.Label(0); c < 3; c++ {
+		if p.Edge.ContainsLabels(c, c) {
+			t.Error("monochromatic edge allowed")
+		}
+	}
+}
+
+func TestSuperweakNodeConstraintBounds(t *testing.T) {
+	k, delta := 2, 5
+	p := Superweak(k, delta)
+	demanding := func(c int) core.Label { l, _ := p.Alpha.Lookup(SuperweakLabelName(c, SuffixDemanding)); return l }
+	accepting := func(c int) core.Label { l, _ := p.Alpha.Lookup(SuperweakLabelName(c, SuffixAccepting)); return l }
+	plain := func(c int) core.Label { l, _ := p.Alpha.Lookup(SuperweakLabelName(c, SuffixNone)); return l }
+
+	// a=1,b=0: allowed.
+	if !p.Node.ContainsLabels(demanding(1), plain(1), plain(1), plain(1), plain(1)) {
+		t.Error("single demanding pointer rejected")
+	}
+	// a=1,b=1: demanding not strictly more.
+	if p.Node.ContainsLabels(demanding(1), accepting(1), plain(1), plain(1), plain(1)) {
+		t.Error("a=b accepted")
+	}
+	// a=3,b=2 ≤ k: allowed.
+	if !p.Node.ContainsLabels(demanding(1), demanding(1), demanding(1), accepting(1), accepting(1)) {
+		t.Error("a=3,b=2 rejected")
+	}
+	// Mixed colors at one node: forbidden.
+	if p.Node.ContainsLabels(demanding(1), plain(2), plain(1), plain(1), plain(1)) {
+		t.Error("mixed colors accepted")
+	}
+	// No demanding pointer at all: forbidden.
+	if p.Node.ContainsLabels(plain(1), plain(1), plain(1), plain(1), plain(1)) {
+		t.Error("pointerless node accepted")
+	}
+}
+
+func TestSuperweakEdgeConstraint(t *testing.T) {
+	p := Superweak(2, 3)
+	lookup := func(name string) core.Label {
+		l, ok := p.Alpha.Lookup(name)
+		if !ok {
+			t.Fatalf("missing label %q", name)
+		}
+		return l
+	}
+	// Same color, demanding vs plain: forbidden.
+	if p.Edge.ContainsLabels(lookup("1>"), lookup("1.")) {
+		t.Error("unanswered demanding pointer accepted")
+	}
+	// Same color, demanding vs accepting: allowed.
+	if !p.Edge.ContainsLabels(lookup("1>"), lookup("1<")) {
+		t.Error("answered demanding pointer rejected")
+	}
+	// Different colors, two demanding: allowed.
+	if !p.Edge.ContainsLabels(lookup("1>"), lookup("2>")) {
+		t.Error("cross-color demanding pair rejected")
+	}
+	// Same color, both plain: allowed.
+	if !p.Edge.ContainsLabels(lookup("2."), lookup("2.")) {
+		t.Error("plain same-color edge rejected")
+	}
+}
+
+func TestWeakTwoColoringIsSuperweakRestriction(t *testing.T) {
+	// The pointer version of weak 2-coloring relaxes to superweak
+	// 2-coloring: map (c,>) → (c,>), (c,.) → (c,.); every weak-coloring
+	// configuration is a superweak configuration (a = 1, b = 0).
+	weak := WeakTwoColoringPointer(4)
+	sw := Superweak(2, 4)
+	m := core.LabelMap{}
+	for _, name := range weak.Alpha.Names() {
+		src, _ := weak.Alpha.Lookup(name)
+		dst, ok := sw.Alpha.Lookup(name)
+		if !ok {
+			t.Fatalf("superweak alphabet misses %q", name)
+		}
+		m[src] = dst
+	}
+	if err := core.CheckRelaxation(weak, sw, m); err != nil {
+		t.Errorf("weak 2-coloring does not relax to superweak 2-coloring: %v", err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SinklessColoring(0) },
+		func() { KColoring(0, 2) },
+		func() { Superweak(1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

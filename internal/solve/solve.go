@@ -1,0 +1,179 @@
+// Package solve provides a centralized constraint solver that finds a
+// correct global solution of a locally checkable problem on a concrete
+// graph, or proves none exists.
+//
+// It is a substrate, not a distributed algorithm: the test and experiment
+// harnesses use it to (a) produce reference solutions of derived problems
+// (e.g. a Π'_1 solution fed into the Lemma 3 transformation), and (b)
+// establish unsolvability of small instances.
+package solve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Options tunes the backtracking search.
+type Options struct {
+	// MaxSteps caps backtracking steps; 0 means the default.
+	MaxSteps int
+}
+
+const defaultMaxSteps = 50_000_000
+
+// Solve finds per-port output labels on g satisfying p's edge and node
+// constraints, or returns (nil, false) if the instance is unsatisfiable.
+// An error is returned only if the search exceeds its step budget or the
+// instance is malformed (e.g. degree ≠ Δ).
+//
+// The search assigns nodes one at a time (choosing a full node
+// configuration and a port assignment of its labels), propagating edge
+// constraints to already-assigned neighbors.
+func Solve(g *graph.Graph, p *core.Problem, opts Options) (*sim.Solution, bool, error) {
+	delta := p.Delta()
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != delta {
+			return nil, false, fmt.Errorf("solve: node %d has degree %d, problem defined for Δ=%d",
+				v, g.Degree(v), delta)
+		}
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	// Precompute the edge relation for O(1) compatibility checks.
+	n := p.Alpha.Size()
+	compatible := make([][]bool, n)
+	for i := range compatible {
+		compatible[i] = make([]bool, n)
+	}
+	for _, cfg := range p.Edge.Configs() {
+		labels := cfg.Expand()
+		compatible[labels[0]][labels[1]] = true
+		compatible[labels[1]][labels[0]] = true
+	}
+
+	// Per-node candidate assignments: all distinct port-orderings of every
+	// node configuration. To keep the candidate lists small we enumerate
+	// distinct permutations of the configuration's multiset.
+	nodeConfigs := p.Node.Configs()
+	perms := make([][][]core.Label, len(nodeConfigs))
+	for i, cfg := range nodeConfigs {
+		perms[i] = distinctPermutations(cfg.Expand())
+	}
+
+	// Order nodes by BFS so neighbors are assigned close together.
+	order := bfsOrder(g)
+
+	assign := make([][]core.Label, g.N())
+	steps := 0
+
+	var rec func(idx int) (bool, error)
+	rec = func(idx int) (bool, error) {
+		if idx == len(order) {
+			return true, nil
+		}
+		v := order[idx]
+		for ci := range nodeConfigs {
+			for _, perm := range perms[ci] {
+				steps++
+				if steps > maxSteps {
+					return false, fmt.Errorf("solve: exceeded step budget of %d", maxSteps)
+				}
+				ok := true
+				for port := 0; port < delta; port++ {
+					w, _, wPort := g.Neighbor(v, port)
+					if assign[w] == nil {
+						continue
+					}
+					if !compatible[perm[port]][assign[w][wPort]] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				assign[v] = perm
+				done, err := rec(idx + 1)
+				if err != nil || done {
+					return done, err
+				}
+				assign[v] = nil
+			}
+		}
+		return false, nil
+	}
+
+	done, err := rec(0)
+	if err != nil {
+		return nil, false, err
+	}
+	if !done {
+		return nil, false, nil
+	}
+	sol := &sim.Solution{Labels: assign}
+	return sol, true, nil
+}
+
+// distinctPermutations returns all distinct orderings of a multiset of
+// labels.
+func distinctPermutations(labels []core.Label) [][]core.Label {
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	var out [][]core.Label
+	cur := make([]core.Label, 0, len(labels))
+	used := make([]bool, len(labels))
+	var rec func()
+	rec = func() {
+		if len(cur) == len(labels) {
+			perm := make([]core.Label, len(cur))
+			copy(perm, cur)
+			out = append(out, perm)
+			return
+		}
+		var last core.Label = -1
+		haveLast := false
+		for i := range labels {
+			if used[i] || (haveLast && labels[i] == last) {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, labels[i])
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+			last, haveLast = labels[i], true
+		}
+	}
+	rec()
+	return out
+}
+
+func bfsOrder(g *graph.Graph) []int {
+	order := make([]int, 0, g.N())
+	seen := make([]bool, g.N())
+	for start := 0; start < g.N(); start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		queue := []int{start}
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			order = append(order, v)
+			for port := 0; port < g.Degree(v); port++ {
+				w, _, _ := g.Neighbor(v, port)
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}

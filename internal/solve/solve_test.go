@@ -1,0 +1,95 @@
+package solve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/problems"
+	"repro/internal/sim"
+)
+
+func TestSolveTwoColoringOnEvenRing(t *testing.T) {
+	g, err := graph.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problems.KColoring(2, 2)
+	sol, ok, err := Solve(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("even ring reported not 2-colorable")
+	}
+	if err := sim.Verify(g, sol, p); err != nil {
+		t.Errorf("solution invalid: %v", err)
+	}
+}
+
+func TestSolveTwoColoringOnOddRingUnsat(t *testing.T) {
+	g, err := graph.Ring(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := Solve(g, problems.KColoring(2, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("odd ring reported 2-colorable")
+	}
+}
+
+func TestSolveSinklessOrientation(t *testing.T) {
+	g := graph.Petersen()
+	p := problems.SinklessOrientation(3)
+	sol, ok, err := Solve(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Petersen graph reported without sinkless orientation")
+	}
+	if err := sim.Verify(g, sol, p); err != nil {
+		t.Errorf("solution invalid: %v", err)
+	}
+}
+
+func TestSolveRejectsDegreeMismatch(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Solve(g, problems.KColoring(3, 2), Options{}); err == nil {
+		t.Error("degree mismatch accepted")
+	}
+}
+
+func TestSolveStepBudget(t *testing.T) {
+	g, err := graph.Ring(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsatisfiable instance with a tiny budget must error, not hang.
+	_, _, err = Solve(g, problems.KColoring(2, 2), Options{MaxSteps: 10})
+	if err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}
+
+func TestSolveWeakColoringPointer(t *testing.T) {
+	g := graph.Petersen()
+	p := problems.WeakTwoColoringPointer(3)
+	sol, ok, err := Solve(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("weak 2-coloring unsatisfiable on Petersen")
+	}
+	if err := sim.Verify(g, sol, p); err != nil {
+		t.Errorf("solution invalid: %v", err)
+	}
+	_ = core.Label(0)
+}

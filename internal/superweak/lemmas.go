@@ -1,0 +1,175 @@
+package superweak
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/matching"
+)
+
+// Lemma1Report describes the structure Lemma 1 predicts for one node
+// configuration Q of the derived problem Π'_1: a unique element P∞ of
+// maximum multiplicity that contains the trit sequence 11...1 and
+// dominates the configuration (multiplicity ≥ Δ − 2^(4k) for
+// Δ ≥ 2^(4k)+1; for the small Δ that are explicitly enumerable the report
+// records what actually holds).
+type Lemma1Report struct {
+	Config          core.Config
+	Dominant        core.Label // label of maximum multiplicity containing 11...1 (or -1)
+	DominantMult    int
+	MaxOtherMult    int  // largest multiplicity among the remaining labels
+	ContainsAllOnes bool // some label of the configuration contains 11...1
+	UniqueDominant  bool // the dominant label's multiplicity strictly exceeds all others'
+}
+
+// CheckLemma1 inspects every node configuration of full (the engine's
+// Π'_1 derived from the trit half problem) and reports the Lemma 1
+// structure. half must be the problem full was derived from (its label
+// names are the trit strings); k is the superweak parameter.
+func CheckLemma1(half, full *core.Problem, k int) ([]Lemma1Report, error) {
+	allOnes := AllOnes(k).String()
+	hasAllOnes := labelContainsSeq(half, full, allOnes)
+
+	reports := make([]Lemma1Report, 0, full.Node.Size())
+	for _, cfg := range full.Node.Configs() {
+		r := Lemma1Report{Config: cfg, Dominant: -1}
+		cfg.ForEach(func(l core.Label, count int) {
+			if hasAllOnes[l] {
+				r.ContainsAllOnes = true
+				if count > r.DominantMult {
+					r.Dominant = l
+					r.DominantMult = count
+				}
+			}
+		})
+		cfg.ForEach(func(l core.Label, count int) {
+			if l != r.Dominant && count > r.MaxOtherMult {
+				r.MaxOtherMult = count
+			}
+		})
+		r.UniqueDominant = r.Dominant >= 0 && r.DominantMult > r.MaxOtherMult
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// labelContainsSeq returns, for each label of full, whether its provenance
+// (a set of half labels) includes the half label named seqName.
+func labelContainsSeq(half, full *core.Problem, seqName string) []bool {
+	target, ok := half.Alpha.Lookup(seqName)
+	out := make([]bool, full.Alpha.Size())
+	if !ok {
+		return out
+	}
+	for l := 0; l < full.Alpha.Size(); l++ {
+		prov, has := full.Alpha.Provenance(core.Label(l))
+		if has && prov.Contains(int(target)) {
+			out[l] = true
+		}
+	}
+	return out
+}
+
+// JStarResult is the output of Lemma 2: an index set J* ⊆ I with
+// |J*| > |N(J*)|, all of J* on one orientation side and all of N(J*) on
+// the other.
+type JStarResult struct {
+	JStar  []int
+	NJStar []int
+}
+
+// JStar computes the sets of Lemma 2 for one node configuration.
+//
+// Inputs: q[i] is the Π'_1 label at port i; out[i] is the orientation
+// side α(i) (true = "out"); pinf is the P∞ label of the configuration;
+// allOnes[l] reports whether label l contains the trit sequence 11...1;
+// rel(a, b) is the edge relation of Π'_1 ({a,b} ∈ g_1).
+//
+// Per the lemma: I is the set of indices i with {q[i], P∞} ∉ g_1 and
+// 11...1 ∉ q[i]; a bipartite graph connects i ∈ I to every j with
+// {q[i], q[j]} ∈ g_1 and α(i) ≠ α(j). Lemma 2 proves Hall's condition
+// fails (for genuine h_1 configurations at Δ ≥ 2^(4k)+1), and any Hall
+// violator splits along α into the desired J*. The function returns
+// (result, true) when a violator exists.
+func JStar(q []core.Label, out []bool, pinf core.Label, allOnes func(core.Label) bool,
+	rel func(a, b core.Label) bool) (JStarResult, bool) {
+	delta := len(q)
+	var members []int // I, as positions into q
+	for i := 0; i < delta; i++ {
+		if !rel(q[i], pinf) && !allOnes(q[i]) {
+			members = append(members, i)
+		}
+	}
+	if len(members) == 0 {
+		return JStarResult{}, false
+	}
+	b := matching.NewBipartite(len(members), delta)
+	for li, i := range members {
+		for j := 0; j < delta; j++ {
+			if out[i] != out[j] && rel(q[i], q[j]) {
+				b.AddEdge(li, j)
+			}
+		}
+	}
+	violator := matching.HallViolator(b)
+	if violator == nil {
+		return JStarResult{}, false
+	}
+	// Split the violator by orientation side; the side neighborhoods are
+	// disjoint, so one side must itself violate Hall's condition.
+	for _, side := range []bool{true, false} {
+		var j []int  // left positions (into members) on this side
+		var js []int // port indices
+		for _, li := range violator {
+			if out[members[li]] == side {
+				j = append(j, li)
+				js = append(js, members[li])
+			}
+		}
+		nj := matching.NeighborhoodOf(b, j)
+		if len(js) > len(nj) {
+			sort.Ints(js)
+			return JStarResult{JStar: js, NJStar: nj}, true
+		}
+	}
+	return JStarResult{}, false
+}
+
+// PInfOf returns the P∞ label of a configuration: among the labels
+// containing 11...1, the one of maximum multiplicity (ties broken by
+// label order, deterministically). Returns false if no label contains
+// 11...1.
+func PInfOf(cfg core.Config, allOnes func(core.Label) bool) (core.Label, bool) {
+	best := core.Label(-1)
+	bestMult := 0
+	cfg.ForEach(func(l core.Label, count int) {
+		if allOnes(l) && (count > bestMult || (count == bestMult && best >= 0 && l < best)) {
+			best = l
+			bestMult = count
+		}
+	})
+	return best, best >= 0
+}
+
+// CanonicalColor derives the superweak color of a node from its R_v
+// multiset {(Q_i, β(i))}: a canonical string key. β(i) is "none" when
+// Q_i = P∞ and the orientation side otherwise (Lemma 3's construction of
+// the injective coloring function c).
+func CanonicalColor(q []core.Label, out []bool, pinf core.Label) string {
+	parts := make([]string, len(q))
+	for i, l := range q {
+		beta := "n"
+		if l != pinf {
+			if out[i] {
+				beta = "o"
+			} else {
+				beta = "i"
+			}
+		}
+		parts[i] = fmt.Sprintf("%d%s", l, beta)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

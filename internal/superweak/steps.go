@@ -1,0 +1,66 @@
+package superweak
+
+import (
+	"math/big"
+
+	"repro/internal/mathx"
+)
+
+// This file implements the step counting behind Theorem 4 (Section 5.2):
+// starting from superweak 2-coloring, each application of Lemma 4 costs
+// one round and raises the parameter to k' = 2^(2^(5k)), so after i steps
+// the parameter is k_i with k_0 = 2 and k_{i+1} = F⁵(k_i), F(x) = 2^x.
+// The final 0-round impossibility argument needs k* ≤ log Δ, so the
+// number of rounds that can be eliminated — and hence any algorithm's
+// runtime — is Ω(log* Δ).
+
+// StepRow is one row of the Theorem 4 lower-bound table.
+type StepRow struct {
+	TowerHeight int // Δ = Tower(TowerHeight), i.e. log* Δ = TowerHeight
+	Steps       int // speedup steps until k_i would exceed log Δ
+	LogStar     int // log*(Δ) for comparison (= TowerHeight)
+}
+
+// StepTable computes, for each Δ given by its power-tower height, how many
+// speedup+relaxation steps the Section 5.2 argument supports, together
+// with log* Δ. The ratio Steps/LogStar converges to 1/5, exhibiting the
+// Θ(log* Δ) shape of the Theorem 4 bound.
+func StepTable(towerHeights []int) []StepRow {
+	rows := make([]StepRow, len(towerHeights))
+	for i, h := range towerHeights {
+		rows[i] = StepRow{
+			TowerHeight: h,
+			Steps:       mathx.SuperweakSteps(h),
+			LogStar:     h,
+		}
+	}
+	return rows
+}
+
+// KSequence returns the first values of the parameter sequence
+// k_0 = 2, k_{i+1} = F⁵(k_i) that fit in a big integer, demonstrating the
+// tower growth (k_1 = 2^(2^(2^(2^4))) already has an astronomical bit
+// count; the function returns the exact values while maintainable and the
+// count of representable terms).
+func KSequence(maxTerms int) []*big.Int {
+	out := []*big.Int{big.NewInt(2)}
+	for len(out) < maxTerms {
+		next, ok := iterPow2Big(out[len(out)-1], 5)
+		if !ok {
+			break
+		}
+		out = append(out, next)
+	}
+	return out
+}
+
+func iterPow2Big(k *big.Int, n int) (*big.Int, bool) {
+	v := new(big.Int).Set(k)
+	for i := 0; i < n; i++ {
+		if !v.IsInt64() || v.Int64() > 1<<24 {
+			return nil, false
+		}
+		v = new(big.Int).Lsh(big.NewInt(1), uint(v.Int64()))
+	}
+	return v, true
+}

@@ -1,0 +1,175 @@
+package superweak
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// PointerKind is a superweak pointer output at one port.
+type PointerKind int
+
+// Pointer kinds of the superweak coloring problem.
+const (
+	PointerNone PointerKind = iota
+	PointerDemanding
+	PointerAccepting
+)
+
+// Output is a superweak coloring of a graph: one color per node (as an
+// opaque canonical string, since the k' color space of Lemma 3 is far too
+// large to materialize) and one pointer kind per port.
+type Output struct {
+	Color    []string
+	Pointers [][]PointerKind
+}
+
+// Transform implements the algorithm transformation of Lemma 3: it turns a
+// correct solution of the derived problem Π'_1 (on a graph whose input
+// includes an edge orientation) into a correct superweak k'-coloring.
+//
+// For each node, the color is the canonical key of the multiset
+// R_v = {(Q_i, β(i))}; demanding pointers go to the ports of the Lemma 2
+// set J*, accepting pointers to N(J*). The per-node computation is purely
+// local (0 extra rounds), as in the paper.
+//
+// half and full describe the derivation (full = Π'_1 derived from the trit
+// half problem for parameter k); sol must be a correct solution of full
+// on g.
+func Transform(g *graph.Graph, orient graph.Orientation, sol *sim.Solution,
+	half, full *core.Problem, k int) (*Output, error) {
+	allOnesName := AllOnes(k).String()
+	hasAllOnes := labelContainsSeq(half, full, allOnesName)
+	allOnes := func(l core.Label) bool { return hasAllOnes[l] }
+	rel := edgeRelationOf(full)
+
+	out := &Output{
+		Color:    make([]string, g.N()),
+		Pointers: make([][]PointerKind, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		q := sol.Labels[v]
+		outSide := make([]bool, len(q))
+		for port := range q {
+			_, edgeID, _ := g.Neighbor(v, port)
+			outSide[port] = orient.Toward[edgeID] != v
+		}
+		cfg := core.NewConfig(q...)
+		pinf, ok := PInfOf(cfg, allOnes)
+		if !ok {
+			return nil, fmt.Errorf("superweak: node %d: configuration %s has no P∞ (no label contains 11...1)",
+				v, cfg.String(full.Alpha))
+		}
+		// Canonicalize port order so nodes with equal R_v choose equal
+		// pointer multisets (required by Lemma 3's consistency argument):
+		// sort ports by (label, side), run the deterministic Lemma 2
+		// computation on the sorted sequence, then map back.
+		perm := canonicalPortOrder(q, outSide)
+		sq := make([]core.Label, len(q))
+		sOut := make([]bool, len(q))
+		for si, port := range perm {
+			sq[si] = q[port]
+			sOut[si] = outSide[port]
+		}
+		res, ok := JStar(sq, sOut, pinf, allOnes, rel)
+		if !ok {
+			return nil, fmt.Errorf("superweak: node %d: Lemma 2 produced no J* for %s",
+				v, cfg.String(full.Alpha))
+		}
+		pointers := make([]PointerKind, len(q))
+		for _, si := range res.JStar {
+			pointers[perm[si]] = PointerDemanding
+		}
+		for _, si := range res.NJStar {
+			pointers[perm[si]] = PointerAccepting
+		}
+		out.Color[v] = CanonicalColor(q, outSide, pinf)
+		out.Pointers[v] = pointers
+	}
+	return out, nil
+}
+
+// canonicalPortOrder returns a permutation of ports sorted by
+// (label, side), ties broken by port number.
+func canonicalPortOrder(q []core.Label, outSide []bool) []int {
+	perm := make([]int, len(q))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		if q[pa] != q[pb] {
+			return q[pa] < q[pb]
+		}
+		if outSide[pa] != outSide[pb] {
+			return outSide[pa]
+		}
+		return pa < pb
+	})
+	return perm
+}
+
+// edgeRelationOf builds the symmetric membership test of a problem's edge
+// constraint.
+func edgeRelationOf(p *core.Problem) func(a, b core.Label) bool {
+	n := p.Alpha.Size()
+	table := make([]bool, n*n)
+	for _, cfg := range p.Edge.Configs() {
+		labels := cfg.Expand()
+		a, b := int(labels[0]), int(labels[1])
+		table[a*n+b] = true
+		table[b*n+a] = true
+	}
+	return func(a, b core.Label) bool { return table[int(a)*n+int(b)] }
+}
+
+// VerifyOutput checks that out is a correct superweak coloring with at
+// most maxAccepting accepting pointers per node: every node uses strictly
+// more demanding than accepting pointers, at most maxAccepting accepting
+// pointers, and every demanding pointer from v to u is answered by a
+// different color at u or an accepting pointer from u back to v.
+func VerifyOutput(g *graph.Graph, out *Output, maxAccepting int) error {
+	if len(out.Color) != g.N() || len(out.Pointers) != g.N() {
+		return fmt.Errorf("superweak: output does not cover the graph")
+	}
+	for v := 0; v < g.N(); v++ {
+		if len(out.Pointers[v]) != g.Degree(v) {
+			return fmt.Errorf("superweak: node %d: %d pointer slots for degree %d",
+				v, len(out.Pointers[v]), g.Degree(v))
+		}
+		demanding, accepting := 0, 0
+		for _, kind := range out.Pointers[v] {
+			switch kind {
+			case PointerDemanding:
+				demanding++
+			case PointerAccepting:
+				accepting++
+			}
+		}
+		if demanding <= accepting {
+			return fmt.Errorf("superweak: node %d: %d demanding vs %d accepting pointers",
+				v, demanding, accepting)
+		}
+		if accepting > maxAccepting {
+			return fmt.Errorf("superweak: node %d: %d accepting pointers exceed bound %d",
+				v, accepting, maxAccepting)
+		}
+		for port, kind := range out.Pointers[v] {
+			if kind != PointerDemanding {
+				continue
+			}
+			u, _, uPort := g.Neighbor(v, port)
+			if out.Color[u] != out.Color[v] {
+				continue
+			}
+			if out.Pointers[u][uPort] != PointerAccepting {
+				return fmt.Errorf("superweak: demanding pointer %d→%d not answered (same color, no accepting pointer back)",
+					v, u)
+			}
+		}
+	}
+	return nil
+}

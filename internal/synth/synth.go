@@ -1,0 +1,320 @@
+// Package synth decides, by exhaustive synthesis, whether a locally
+// checkable problem admits a 1-round deterministic algorithm in the port
+// numbering model on Δ-regular high-girth graphs whose input is an
+// arbitrary edge orientation.
+//
+// Together with core.ZeroRoundSolvableWithOrientation this mechanizes
+// Theorem 1 (with Theorem 2's simplification) at t = 1: on the
+// 1-independent class of Δ-regular girth-≥4 orientation-labeled graphs,
+//
+//	Π is 1-round solvable  ⟺  Π'_1 is 0-round solvable,
+//
+// which the tests check for the catalog problems and for random problems
+// (Experiment U2).
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// A radius-1 view on a Δ-regular orientation-labeled high-girth graph:
+// the node's own orientation pattern plus, per port, the neighbor's
+// return port and the orientations of the neighbor's other ports. High
+// girth means neighbors are pairwise non-adjacent, and 1-independence
+// means every combination of per-port descriptions occurs.
+type view struct {
+	ownOut    []bool     // orientation per own port (true = out)
+	returnPos []int      // neighbor's port leading back, per own port
+	nbOut     [][]bool   // neighbor's full orientation pattern, per own port
+	key       string     // canonical identity
+	outputs   []int      // search state: chosen label per port, -1 unset
+	options   [][]option // precomputed per-node-constraint output tuples
+}
+
+type option struct {
+	labels []core.Label
+}
+
+// OneRoundOrientedSolvable reports whether p admits a 1-round algorithm
+// on Δ-regular orientation-labeled graphs of girth ≥ 4 (worst-case port
+// numbering and orientation). The search space is doubly exponential in Δ
+// and the alphabet; it is feasible for Δ = 2 and small alphabets, which
+// is what the Theorem 1 mechanization uses.
+func OneRoundOrientedSolvable(p *core.Problem) (bool, error) {
+	delta := p.Delta()
+	nLabels := p.Alpha.Size()
+	if delta > 2 || nLabels > 6 {
+		return false, fmt.Errorf("synth: search infeasible for Δ=%d, %d labels", delta, nLabels)
+	}
+
+	views := enumerateViews(delta)
+
+	// Per-view output options: all label tuples whose multiset is a node
+	// configuration.
+	tuples := allTuples(nLabels, delta)
+	var nodeOK [][]core.Label
+	for _, tup := range tuples {
+		if p.Node.Contains(core.NewConfig(tup...)) {
+			nodeOK = append(nodeOK, tup)
+		}
+	}
+	if len(nodeOK) == 0 {
+		return false, nil
+	}
+
+	rel := make([][]bool, nLabels)
+	for i := range rel {
+		rel[i] = make([]bool, nLabels)
+	}
+	for _, cfg := range p.Edge.Configs() {
+		l := cfg.Expand()
+		rel[l[0]][l[1]] = true
+		rel[l[1]][l[0]] = true
+	}
+
+	// Precompute the port-compatibility structure between views.
+	type arc struct{ i, j int }
+	arcs := make([][][]arc, len(views)) // arcs[a][b] = compatible port pairs
+	for a := range views {
+		arcs[a] = make([][]arc, len(views))
+		for b := range views {
+			for i := 0; i < delta; i++ {
+				for j := 0; j < delta; j++ {
+					if compatibleAlong(views[a], i, views[b], j) {
+						arcs[a][b] = append(arcs[a][b], arc{i, j})
+					}
+				}
+			}
+		}
+	}
+
+	// optionOK reports whether option ta of view a coexists with option tb
+	// of view b across every compatible port pair.
+	optionOK := func(a int, ta []core.Label, b int, tb []core.Label) bool {
+		for _, pr := range arcs[a][b] {
+			if !rel[ta[pr.i]][tb[pr.j]] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Domains: per view, the indices of still-viable output tuples. A
+	// view can be adjacent to a copy of itself, so options must also be
+	// self-consistent.
+	domains := make([][]int, len(views))
+	for a := range views {
+		for oi, tup := range nodeOK {
+			if optionOK(a, tup, a, tup) {
+				domains[a] = append(domains[a], oi)
+			}
+		}
+		if len(domains[a]) == 0 {
+			return false, nil
+		}
+	}
+
+	// AC-3 style propagation: remove options with no support in some
+	// neighbor domain; repeat to fixpoint.
+	revise := func(a, b int) bool {
+		if len(arcs[a][b]) == 0 {
+			return false
+		}
+		changed := false
+		kept := domains[a][:0]
+		for _, oa := range domains[a] {
+			supported := false
+			for _, ob := range domains[b] {
+				if optionOK(a, nodeOK[oa], b, nodeOK[ob]) {
+					supported = true
+					break
+				}
+			}
+			if supported {
+				kept = append(kept, oa)
+			} else {
+				changed = true
+			}
+		}
+		domains[a] = kept
+		return changed
+	}
+	propagate := func() bool {
+		for {
+			changed := false
+			for a := range views {
+				for b := range views {
+					if revise(a, b) {
+						changed = true
+						if len(domains[a]) == 0 {
+							return false
+						}
+					}
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+	}
+	if !propagate() {
+		return false, nil
+	}
+
+	// Backtracking with forward checking and minimum-remaining-values
+	// ordering on the arc-consistent domains.
+	assigned := make([]int, len(views))
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	var rec func(count int) bool
+	rec = func(count int) bool {
+		if count == len(views) {
+			return true
+		}
+		best, bestSize := -1, 1<<30
+		for a := range views {
+			if assigned[a] == -1 && len(domains[a]) < bestSize {
+				best, bestSize = a, len(domains[a])
+			}
+		}
+		saved := make(map[int][]int)
+		for _, oa := range domains[best] {
+			ok := true
+			for b := range views {
+				if assigned[b] != -1 || b == best {
+					continue
+				}
+				kept := make([]int, 0, len(domains[b]))
+				for _, ob := range domains[b] {
+					if optionOK(best, nodeOK[oa], b, nodeOK[ob]) {
+						kept = append(kept, ob)
+					}
+				}
+				if len(kept) < len(domains[b]) {
+					if _, dup := saved[b]; !dup {
+						saved[b] = domains[b]
+					}
+					domains[b] = kept
+				}
+				if len(kept) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				assigned[best] = oa
+				if rec(count + 1) {
+					return true
+				}
+				assigned[best] = -1
+			}
+			for b, old := range saved {
+				domains[b] = old
+				delete(saved, b)
+			}
+		}
+		return false
+	}
+	return rec(0), nil
+}
+
+// compatibleAlong reports whether view v's port i and view w's port j can
+// be the two endpoints of one edge in some graph of the class: the shared
+// edge's orientation agrees (out on one side, in on the other), v's
+// description of its port-i neighbor matches w's self-description, and
+// vice versa.
+func compatibleAlong(v view, i int, w view, j int) bool {
+	if v.ownOut[i] == w.ownOut[j] {
+		return false // both out or both in: inconsistent orientation
+	}
+	if v.returnPos[i] != j || w.returnPos[j] != i {
+		return false
+	}
+	for port := range w.ownOut {
+		if v.nbOut[i][port] != w.ownOut[port] {
+			return false
+		}
+	}
+	for port := range v.ownOut {
+		if w.nbOut[j][port] != v.ownOut[port] {
+			return false
+		}
+	}
+	return true
+}
+
+// enumerateViews lists all radius-1 views on Δ-regular orientation-labeled
+// trees: own pattern × per-port (return port × neighbor pattern consistent
+// on the shared edge).
+func enumerateViews(delta int) []view {
+	var views []view
+	patterns := allBoolPatterns(delta)
+	var build func(v view, port int)
+	build = func(v view, port int) {
+		if port == delta {
+			cp := view{
+				ownOut:    append([]bool(nil), v.ownOut...),
+				returnPos: append([]int(nil), v.returnPos...),
+				nbOut:     make([][]bool, delta),
+			}
+			for i := range v.nbOut {
+				cp.nbOut[i] = append([]bool(nil), v.nbOut[i]...)
+			}
+			views = append(views, cp)
+			return
+		}
+		for ret := 0; ret < delta; ret++ {
+			for _, nb := range patterns {
+				// The neighbor sees the shared edge from the other side.
+				if nb[ret] == v.ownOut[port] {
+					continue
+				}
+				v.returnPos[port] = ret
+				v.nbOut[port] = nb
+				build(v, port+1)
+			}
+		}
+	}
+	for _, own := range patterns {
+		v := view{
+			ownOut:    own,
+			returnPos: make([]int, delta),
+			nbOut:     make([][]bool, delta),
+		}
+		build(v, 0)
+	}
+	return views
+}
+
+func allBoolPatterns(n int) [][]bool {
+	out := make([][]bool, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		p := make([]bool, n)
+		for b := 0; b < n; b++ {
+			p[b] = mask&(1<<uint(b)) != 0
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func allTuples(nLabels, arity int) [][]core.Label {
+	var out [][]core.Label
+	cur := make([]core.Label, arity)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == arity {
+			out = append(out, append([]core.Label(nil), cur...))
+			return
+		}
+		for l := 0; l < nLabels; l++ {
+			cur[pos] = core.Label(l)
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,108 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+func TestKnownOneRoundCases(t *testing.T) {
+	// "Output the input orientation" is 0-round, hence 1-round, solvable.
+	copyOrient := core.MustParse(`
+node:
+O O
+O I
+I I
+edge:
+O I
+`)
+	ok, err := OneRoundOrientedSolvable(copyOrient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("orientation copy not 1-round solvable")
+	}
+
+	// 2-coloring on oriented high-girth 2-regular graphs is not 1-round
+	// solvable (it needs Θ(n) rounds on cycles).
+	twoCol := problems.KColoring(2, 2)
+	ok, err = OneRoundOrientedSolvable(twoCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("2-coloring reported 1-round solvable")
+	}
+}
+
+// TestTheorem1AtTEquals1 mechanizes Theorem 1 (+ Theorem 2) for t = 1 on
+// the 1-independent class of Δ=2 orientation-labeled high-girth graphs:
+// Π is 1-round solvable iff the derived Π'_1 is 0-round solvable. Random
+// problems over small alphabets are checked in both directions.
+func TestTheorem1AtTEquals1(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for iter := 0; iter < 400 && checked < 120; iter++ {
+		p := randomProblem(rng, 2+rng.Intn(2), 0.5)
+		if p.Edge.Size() == 0 || p.Node.Size() == 0 {
+			continue
+		}
+		derived, err := core.Speedup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneRound, err := OneRoundOrientedSolvable(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, zeroRound := core.ZeroRoundSolvableWithOrientation(derived)
+		if oneRound != zeroRound {
+			t.Fatalf("iter %d: Theorem 1 equivalence violated: 1-round(Π)=%v, 0-round(Π'_1)=%v\nΠ:\n%s\nΠ'_1:\n%s",
+				iter, oneRound, zeroRound, p.String(), derived.String())
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d usable random problems; generator too sparse", checked)
+	}
+}
+
+func TestInfeasibleParametersRejected(t *testing.T) {
+	if _, err := OneRoundOrientedSolvable(problems.KColoring(3, 4)); err == nil {
+		t.Error("Δ=4 accepted")
+	}
+}
+
+// randomProblem mirrors the core test helper (kept local: internal test
+// helpers are not exported across packages).
+func randomProblem(rng *rand.Rand, alphabetSize int, density float64) *core.Problem {
+	names := make([]string, alphabetSize)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	alpha := core.MustAlphabet(names...)
+	edge := core.NewConstraint(2)
+	for i := 0; i < alphabetSize; i++ {
+		for j := i; j < alphabetSize; j++ {
+			if rng.Float64() < density {
+				edge.MustAdd(core.NewConfig(core.Label(i), core.Label(j)))
+			}
+		}
+	}
+	node := core.NewConstraint(2)
+	for i := 0; i < alphabetSize; i++ {
+		for j := i; j < alphabetSize; j++ {
+			if rng.Float64() < density {
+				node.MustAdd(core.NewConfig(core.Label(i), core.Label(j)))
+			}
+		}
+	}
+	p, err := core.NewProblem(alpha, edge, node)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
