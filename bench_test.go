@@ -1,7 +1,7 @@
 // Package repro benchmarks regenerate the reproduction's experiments as
-// testing.B benchmarks — one per experiment of DESIGN.md's index (the
-// paper is theory, so the "tables" are its worked derivations; see
-// EXPERIMENTS.md for the measured outputs).
+// testing.B benchmarks — one per experiment of EXPERIMENTS.md's index
+// (the paper is theory, so the "tables" are its worked derivations; see
+// EXPERIMENTS.md for what each measures and how to read the numbers).
 package repro
 
 import (
@@ -12,6 +12,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/colorred"
 	"repro/internal/core"
+	"repro/internal/fixpoint"
 	"repro/internal/graph"
 	"repro/internal/independence"
 	"repro/internal/matching"
@@ -155,6 +156,80 @@ func BenchmarkE4Lemma2JStar(b *testing.B) {
 				superweak.JStar(q, out, pinf, allOnes, relFn)
 			}
 		}
+	}
+}
+
+// BenchmarkE6ParallelSpeedup: the parallel round-elimination engine
+// against its sequential baseline, on the weak 2-coloring derivation
+// whose maximal-set exploration dominates wall-clock at larger Δ. The
+// "seq" variants pin one worker; the "par" variants use GOMAXPROCS. On
+// a machine with ≥4 cores the Δ=8 pair is the headline speedup number;
+// outputs are byte-identical either way.
+func BenchmarkE6ParallelSpeedup(b *testing.B) {
+	for _, delta := range []int{4, 6, 8} {
+		p := problems.WeakTwoColoringPointer(delta)
+		for _, v := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(fmt.Sprintf("weak2/delta=%d/%s", delta, v.name), func(b *testing.B) {
+				if delta >= 6 && testing.Short() {
+					b.Skip("minutes-long at Δ>=6; run without -short")
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Speedup(p, core.WithWorkers(v.workers)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE6ParallelHalfStep: the sharded config-lifting half of the
+// engine in isolation, on the superweak problem whose node constraint
+// has enough configurations to feed every worker.
+func BenchmarkE6ParallelHalfStep(b *testing.B) {
+	p := problems.Superweak(2, 5)
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.HalfStep(p, core.WithWorkers(v.workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Fixpoint: the iterated round-elimination driver on the
+// problems whose trajectories close (Section 4.4): sinkless coloring
+// (fixed point in 1 step) and sinkless orientation (in 2).
+func BenchmarkE7Fixpoint(b *testing.B) {
+	cases := []struct {
+		name string
+		p    *core.Problem
+		want fixpoint.Kind
+	}{
+		{"sinkless-coloring/delta=3", problems.SinklessColoring(3), fixpoint.FixedPoint},
+		{"sinkless-coloring/delta=8", problems.SinklessColoring(8), fixpoint.FixedPoint},
+		{"sinkless-orientation/delta=3", problems.SinklessOrientation(3), fixpoint.FixedPoint},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := fixpoint.Run(tc.p, fixpoint.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Kind != tc.want {
+					b.Fatalf("classified %v, want %v", res.Kind, tc.want)
+				}
+			}
+		})
 	}
 }
 

@@ -4,11 +4,19 @@
 //
 // Usage:
 //
-//	speedup [-steps n] [-half] [-keep-names] [file]
+//	speedup [-steps n] [-half] [-keep-names] [-workers n] [-fixpoint] [-max-steps n] [file]
 //
 // Example (sinkless coloring at Δ=3):
 //
 //	printf 'node:\n0^2 1\nedge:\n0 0\n0 1\n' | speedup -steps 2
+//
+// With -fixpoint the command runs the iterated round-elimination driver
+// instead: it applies speedup until the trajectory is classified as a
+// fixed point, a cycle, collapsed, 0-round solvable, or out of budget
+// (bounded by -max-steps), and prints each trajectory entry plus the
+// classification. This is the paper's lower-bound recipe as one flag:
+//
+//	printf 'node:\n0^2 1\nedge:\n0 0\n0 1\n' | speedup -fixpoint
 package main
 
 import (
@@ -18,20 +26,63 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fixpoint"
 )
 
 func main() {
 	steps := flag.Int("steps", 1, "number of full speedup steps to apply")
 	half := flag.Bool("half", false, "apply only the half step Π → Π'_1/2")
 	keepNames := flag.Bool("keep-names", false, "keep derived set-labels instead of renaming compactly")
+	workers := flag.Int("workers", 0, "worker count for the parallel enumerations (0 = GOMAXPROCS)")
+	fixpointMode := flag.Bool("fixpoint", false, "iterate speedup to a fixed point / cycle and classify the trajectory")
+	maxSteps := flag.Int("max-steps", fixpoint.DefaultMaxSteps, "iteration bound in -fixpoint mode")
 	flag.Parse()
-	if err := run(*steps, *half, *keepNames, flag.Arg(0)); err != nil {
+	if err := validateFlags(*fixpointMode, *maxSteps); err != nil {
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(2)
+	}
+	if err := run(options{
+		steps:     *steps,
+		half:      *half,
+		keepNames: *keepNames,
+		workers:   *workers,
+		fixpoint:  *fixpointMode,
+		maxSteps:  *maxSteps,
+	}, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "speedup:", err)
 		os.Exit(1)
 	}
 }
 
-func run(steps int, half, keepNames bool, path string) error {
+// validateFlags rejects flag combinations the -fixpoint driver would
+// silently ignore, rather than dropping them.
+func validateFlags(fixpointMode bool, maxSteps int) error {
+	if maxSteps < 1 {
+		return fmt.Errorf("-max-steps must be >= 1, got %d", maxSteps)
+	}
+	if !fixpointMode {
+		return nil
+	}
+	var conflict error
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "half", "steps", "keep-names":
+			conflict = fmt.Errorf("-%s cannot be combined with -fixpoint", f.Name)
+		}
+	})
+	return conflict
+}
+
+type options struct {
+	steps     int
+	half      bool
+	keepNames bool
+	workers   int
+	fixpoint  bool
+	maxSteps  int
+}
+
+func run(o options, path string) error {
 	text, err := readInput(path)
 	if err != nil {
 		return err
@@ -43,20 +94,24 @@ func run(steps int, half, keepNames bool, path string) error {
 	fmt.Printf("# input problem: Δ=%d, %d labels, %d edge configs, %d node configs\n",
 		p.Delta(), p.Alpha.Size(), p.Edge.Size(), p.Node.Size())
 
-	if half {
-		derived, err := core.HalfStep(p)
+	coreOpts := []core.Option{core.WithWorkers(o.workers)}
+	if o.fixpoint {
+		return runFixpoint(p, o, coreOpts)
+	}
+	if o.half {
+		derived, err := core.HalfStep(p, coreOpts...)
 		if err != nil {
 			return err
 		}
-		return printDerived(derived, keepNames, "Π'_1/2")
+		return printDerived(derived, o.keepNames, "Π'_1/2")
 	}
 	cur := p
-	for i := 1; i <= steps; i++ {
-		derived, err := core.Speedup(cur)
+	for i := 1; i <= o.steps; i++ {
+		derived, err := core.Speedup(cur, coreOpts...)
 		if err != nil {
 			return err
 		}
-		if err := printDerived(derived, keepNames, fmt.Sprintf("Π_%d", i)); err != nil {
+		if err := printDerived(derived, o.keepNames, fmt.Sprintf("Π_%d", i)); err != nil {
 			return err
 		}
 		if m, ok := core.Isomorphic(derived, cur); ok {
@@ -69,8 +124,36 @@ func run(steps int, half, keepNames bool, path string) error {
 			break
 		}
 		cur = derived
-		if !keepNames {
+		if !o.keepNames {
 			cur, _ = cur.RenameCompact()
+		}
+	}
+	return nil
+}
+
+func runFixpoint(p *core.Problem, o options, coreOpts []core.Option) error {
+	res, err := fixpoint.Run(p, fixpoint.Options{MaxSteps: o.maxSteps, Core: coreOpts})
+	if err != nil {
+		return err
+	}
+	for i, q := range res.Trajectory[1:] {
+		if err := printDerived(q, true, fmt.Sprintf("Π_%d", i+1)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\n# classification: %s after %d step(s)\n", res.Kind, res.Steps)
+	switch res.Kind {
+	case fixpoint.FixedPoint:
+		fmt.Printf("# Π_%d is isomorphic to Π_%d — the paper's lower-bound fixed point\n",
+			len(res.Trajectory)-1, res.CycleStart)
+	case fixpoint.Cycle:
+		fmt.Printf("# Π_%d is isomorphic to Π_%d (cycle of length %d)\n",
+			len(res.Trajectory)-1, res.CycleStart, res.CycleLen)
+	case fixpoint.BudgetExceeded:
+		if res.Err != nil {
+			fmt.Printf("# enumeration gave up: %v\n", res.Err)
+		} else {
+			fmt.Printf("# no closure within %d steps; raise -max-steps\n", res.Steps)
 		}
 	}
 	return nil

@@ -121,6 +121,30 @@ func Isomorphic(p, q *Problem) (LabelMap, bool) {
 	return nil, false
 }
 
+// IsoInvariantKey returns a fingerprint that is equal for isomorphic
+// problems: description sizes plus the sorted multiset of per-label
+// signatures. It is a cheap necessary condition — distinct keys prove
+// non-isomorphism, equal keys must be confirmed with Isomorphic — which
+// makes it the right hash-bucket key for memoizing problems up to
+// renaming (as the fixpoint driver does).
+func IsoInvariantKey(p *Problem) string {
+	sig := labelSignatures(p)
+	sort.Strings(sig)
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(p.Alpha.Size()))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(p.Delta()))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(p.Edge.Size()))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(p.Node.Size()))
+	for _, s := range sig {
+		sb.WriteByte(';')
+		sb.WriteString(s)
+	}
+	return sb.String()
+}
+
 // labelSignatures computes a renaming-invariant fingerprint per label: the
 // sorted list of (multiplicity-profile, own-multiplicity) participations
 // in each constraint.

@@ -44,9 +44,9 @@ func NaiveHalfStep(p *Problem) (*Problem, error) {
 
 	node := NewConstraint(p.Delta())
 	candidates := candidateLists(sets, n)
-	budget := defaultMaxStates
+	budget := newStateBudget(defaultMaxStates)
 	for _, cfg := range p.Node.Configs() {
-		if err := liftConfig(cfg, candidates, node, &budget); err != nil {
+		if err := liftConfig(cfg, candidates, node, budget); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+// heavyEntries lists catalog entries whose single speedup step costs
+// seconds; they are skipped under -short to keep the quick cycle fast.
+var heavyEntries = map[string]bool{
+	"4-coloring/delta=2":    true,
+	"weak2-pointer/delta=4": true,
+	"superweak/k=2,delta=3": true,
+}
+
+// TestParallelSpeedupMatchesSequential asserts the core guarantee of the
+// parallel engine: for every catalog problem, Speedup with a worker pool
+// produces a result that is Equal (same labels, same constraint sets)
+// and byte-identical (same String rendering) to the sequential run, and
+// in particular isomorphic to it. The worker count is forced above 1 so
+// the sharded path is exercised even on single-core machines.
+func TestParallelSpeedupMatchesSequential(t *testing.T) {
+	for _, e := range problems.Catalog() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			if testing.Short() && heavyEntries[e.Name] {
+				t.Skip("heavy entry skipped in -short mode")
+			}
+			seq, err := core.Speedup(e.Problem, core.WithWorkers(1))
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par, err := core.Speedup(e.Problem, core.WithWorkers(4))
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !par.Equal(seq) {
+				t.Fatalf("parallel result differs from sequential:\nseq:\n%s\npar:\n%s", seq, par)
+			}
+			if got, want := par.String(), seq.String(); got != want {
+				t.Fatalf("parallel rendering not byte-identical:\nseq:\n%s\npar:\n%s", want, got)
+			}
+			if _, ok := core.Isomorphic(par, seq); !ok {
+				t.Fatal("parallel result not isomorphic to sequential")
+			}
+			if e.FixedPoint {
+				if _, ok := core.Isomorphic(par, e.Problem); !ok {
+					t.Fatal("catalog marks a fixed point, but derived problem is not isomorphic to the input")
+				}
+			}
+		})
+	}
+}
+
+// TestParallelHalfStepMatchesSequential covers the half step on its own
+// (its lifting shards differently than the full pipeline).
+func TestParallelHalfStepMatchesSequential(t *testing.T) {
+	for _, e := range problems.Catalog() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			seq, err := core.HalfStep(e.Problem, core.WithWorkers(1))
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par, err := core.HalfStep(e.Problem, core.WithWorkers(4))
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !par.Equal(seq) || par.String() != seq.String() {
+				t.Fatalf("parallel half step differs from sequential:\nseq:\n%s\npar:\n%s", seq, par)
+			}
+		})
+	}
+}
+
+// TestParallelBudgetError asserts the WithMaxStates semantics are
+// preserved by the worker pool: an undersized budget fails with
+// ErrStateBudget for every worker count.
+func TestParallelBudgetError(t *testing.T) {
+	p := problems.WeakTwoColoringPointer(3)
+	for _, workers := range []int{1, 4} {
+		_, err := core.Speedup(p, core.WithWorkers(workers), core.WithMaxStates(100))
+		if err == nil {
+			t.Fatalf("workers=%d: expected budget error, got success", workers)
+		}
+		if !errors.Is(err, core.ErrStateBudget) {
+			t.Fatalf("workers=%d: error does not wrap ErrStateBudget: %v", workers, err)
+		}
+	}
+}
+
+// TestSpeedupDeterministic asserts repeated runs are byte-identical —
+// the closedSets ordering fix plus the deterministic shard merge.
+func TestSpeedupDeterministic(t *testing.T) {
+	p := problems.WeakTwoColoringPointer(3)
+	first, err := core.Speedup(p, core.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := core.Speedup(p, core.WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("run %d produced a different rendering", i+2)
+		}
+	}
+}

@@ -54,6 +54,16 @@ func Parse(text string) (*Problem, error) {
 		if l, ok := alpha.index[name]; ok {
 			return l, nil
 		}
+		// Names that collide with the line syntax cannot round-trip
+		// through String (a rendered line could start with '#' or read
+		// as a section header), so reject them up front.
+		if strings.ContainsRune(name, '#') {
+			return 0, fmt.Errorf("label name %q contains '#'", name)
+		}
+		switch strings.ToLower(name) {
+		case "node:", "nodes:", "edge:", "edges:":
+			return 0, fmt.Errorf("label name %q collides with a section header", name)
+		}
 		if err := alpha.add(name); err != nil {
 			return 0, err
 		}

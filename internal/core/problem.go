@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/bitset"
@@ -141,20 +142,45 @@ func (p *Problem) Stats() Stats {
 	}
 }
 
-// String renders the problem in the text format accepted by Parse.
+// String renders the problem in the text format accepted by Parse. The
+// rendering is canonical with respect to label numbering: parts within
+// a line are ordered by label name and lines lexicographically, so two
+// problems with the same names and the same constraint sets render
+// identically no matter how their labels are numbered (and
+// parse → format is idempotent after one round-trip).
 func (p *Problem) String() string {
 	var sb strings.Builder
 	sb.WriteString("node:\n")
-	for _, cfg := range p.Node.Configs() {
-		sb.WriteString(cfg.String(p.Alpha))
+	for _, line := range renderedLines(p.Node, p.Alpha) {
+		sb.WriteString(line)
 		sb.WriteByte('\n')
 	}
 	sb.WriteString("edge:\n")
-	for _, cfg := range p.Edge.Configs() {
-		sb.WriteString(cfg.String(p.Alpha))
+	for _, line := range renderedLines(p.Edge, p.Alpha) {
+		sb.WriteString(line)
 		sb.WriteByte('\n')
 	}
 	return sb.String()
+}
+
+// renderedLines renders each configuration of c in the multiplicity
+// shorthand with name-sorted parts, returning the lines sorted.
+func renderedLines(c Constraint, a *Alphabet) []string {
+	lines := make([]string, 0, c.Size())
+	for _, cfg := range c.Configs() {
+		parts := make([]string, 0, 4)
+		cfg.ForEach(func(l Label, count int) {
+			if count == 1 {
+				parts = append(parts, a.Name(l))
+			} else {
+				parts = append(parts, fmt.Sprintf("%s^%d", a.Name(l), count))
+			}
+		})
+		sort.Strings(parts)
+		lines = append(lines, strings.Join(parts, " "))
+	}
+	sort.Strings(lines)
+	return lines
 }
 
 // Equal reports whether two problems are identical (same label names in the

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/bitset"
 )
@@ -231,7 +232,7 @@ func maximalNodeSetConfigs(half *Problem, o speedupOptions) ([]setConfig, error)
 	case StrategyCombine:
 		return maximalNodeSetConfigsCombine(half, o.maxStates)
 	default:
-		return maximalNodeSetConfigsExplore(half, o.maxStates)
+		return maximalNodeSetConfigsExplore(half, o)
 	}
 }
 
@@ -249,66 +250,103 @@ func maximalNodeSetConfigs(half *Problem, o speedupOptions) ([]setConfig, error)
 // right trade-off when that space is moderate (e.g. the weak 2-coloring
 // derivation of Section 4.6 for Δ up to ~8). For problems with a large
 // valid space but a small antichain, use StrategyCombine.
-func maximalNodeSetConfigsExplore(half *Problem, maxStates int) ([]setConfig, error) {
+//
+// The exploration is level-synchronous: each frontier of newly visited
+// configurations is expanded in parallel (the validity checks dominate
+// the cost and are independent per state), and the results are merged
+// sequentially in frontier order. Because the reachable closure, the
+// maximal subset, and the sorted output are all schedule-independent,
+// every worker count produces byte-identical results, including the
+// budget-exceeded failure point.
+func maximalNodeSetConfigsExplore(half *Problem, o speedupOptions) ([]setConfig, error) {
 	n := half.Alpha.Size()
 	if half.Delta() > 255 {
 		return nil, fmt.Errorf("core: second half step: Δ=%d exceeds the supported 255", half.Delta())
 	}
 	valid := newFastNodeSet(half)
+	maxStates := o.maxStates
 
 	visited := map[string]bool{}
 	maximal := map[string]setConfig{}
-	var stack []setConfig
+	var frontier []setConfig
 	for _, cfg := range half.Node.Configs() {
 		sc := singletonSetConfig(cfg, n)
 		k := sc.key()
 		if !visited[k] {
 			visited[k] = true
-			stack = append(stack, sc)
+			frontier = append(frontier, sc)
 		}
 	}
 
-	extMemo := map[string]bool{}
-	for len(stack) > 0 {
-		sc := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		extended := false
-		for gi := range sc.groups {
-			g := sc.groups[gi]
-			reduced := sc.withoutOneOf(gi)
-			reducedKey := reduced.key()
-			for l := 0; l < n; l++ {
-				if g.set.Contains(l) {
-					continue
-				}
-				// Adding l to one copy of group gi introduces exactly the
-				// choices where that copy picks l; all other choices are
-				// choices of sc and already valid.
-				memoKey := reducedKey + "+" + strconv.Itoa(l)
-				ok, seen := extMemo[memoKey]
-				if !seen {
-					ok = valid.allChoices(reduced.groups, Label(l))
-					extMemo[memoKey] = ok
-				}
-				if !ok {
-					continue
-				}
-				extended = true
-				next := sc.withLabelAdded(gi, Label(l))
-				k := next.key()
-				if !visited[k] {
-					if len(visited) >= maxStates {
-						return nil, fmt.Errorf("core: second half step: exceeded state budget of %d set-configurations", maxStates)
+	// Extension-validity results are shared across workers and levels:
+	// the check for (reduced config, label) does not depend on which
+	// state asked, so duplicated concurrent computation is harmless and
+	// the cache stays coherent.
+	var extMemo sync.Map
+	type candidate struct {
+		sc  setConfig
+		key string
+	}
+	type expansion struct {
+		extended bool
+		next     []candidate
+	}
+	for len(frontier) > 0 {
+		results := make([]expansion, len(frontier))
+		workers := o.workerCount(len(frontier))
+		runIndexed(workers, len(frontier), func(i int) {
+			sc := frontier[i]
+			var ex expansion
+			for gi := range sc.groups {
+				g := sc.groups[gi]
+				reduced := sc.withoutOneOf(gi)
+				reducedKey := reduced.key()
+				for l := 0; l < n; l++ {
+					if g.set.Contains(l) {
+						continue
 					}
-					visited[k] = true
-					stack = append(stack, next)
+					// Adding l to one copy of group gi introduces exactly
+					// the choices where that copy picks l; all other
+					// choices are choices of sc and already valid.
+					memoKey := reducedKey + "+" + strconv.Itoa(l)
+					var ok bool
+					if v, seen := extMemo.Load(memoKey); seen {
+						ok = v.(bool)
+					} else {
+						ok = valid.allChoices(reduced.groups, Label(l))
+						extMemo.Store(memoKey, ok)
+					}
+					if !ok {
+						continue
+					}
+					ex.extended = true
+					next := sc.withLabelAdded(gi, Label(l))
+					ex.next = append(ex.next, candidate{sc: next, key: next.key()})
+				}
+			}
+			results[i] = ex
+		})
+
+		// Sequential merge, in frontier order: dedupe against the global
+		// visited set and enforce the budget. Keys were computed in the
+		// parallel phase, so this is map traffic only.
+		next := frontier[:0:0]
+		for i, sc := range frontier {
+			if !results[i].extended {
+				maximal[sc.key()] = sc
+				continue
+			}
+			for _, cand := range results[i].next {
+				if !visited[cand.key] {
+					if len(visited) >= maxStates {
+						return nil, fmt.Errorf("core: second half step: exceeded state budget of %d set-configurations: %w", maxStates, ErrStateBudget)
+					}
+					visited[cand.key] = true
+					next = append(next, cand.sc)
 				}
 			}
 		}
-		if !extended {
-			maximal[sc.key()] = sc
-		}
+		frontier = next
 	}
 
 	keys := make([]string, 0, len(maximal))
@@ -406,7 +444,7 @@ func maximalNodeSetConfigsCombine(half *Problem, maxStates int) ([]setConfig, er
 			}
 		}
 		if len(items) >= maxStates {
-			return fmt.Errorf("core: second half step: exceeded state budget of %d set-configurations", maxStates)
+			return fmt.Errorf("core: second half step: exceeded state budget of %d set-configurations: %w", maxStates, ErrStateBudget)
 		}
 		items = append(items, it)
 		alive = append(alive, true)

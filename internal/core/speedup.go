@@ -1,11 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/bitset"
 )
+
+// ErrStateBudget is wrapped by every budget-exhaustion failure of the
+// speedup enumerations, so callers (e.g. the fixpoint driver) can
+// distinguish "too big to enumerate" from genuine internal errors.
+var ErrStateBudget = errors.New("state budget exceeded")
 
 // Strategy selects the algorithm used to enumerate the maximal node
 // configurations of the derived problem Π'_1.
@@ -25,6 +32,24 @@ const (
 type speedupOptions struct {
 	maxStates int
 	strategy  Strategy
+	workers   int
+}
+
+// workerCount resolves the effective worker count for a unit of n
+// independent work items: the configured count (GOMAXPROCS when
+// unset), clamped to n.
+func (o speedupOptions) workerCount(n int) int {
+	w := o.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Option configures Speedup, HalfStep and SecondHalfStep.
@@ -44,6 +69,16 @@ func WithMaxStates(n int) Option {
 // WithStrategy selects the maximal-configuration enumeration strategy.
 func WithStrategy(s Strategy) Option {
 	return func(o *speedupOptions) { o.strategy = s }
+}
+
+// WithWorkers sets the number of concurrent workers used by the
+// enumeration hot paths (HalfStep's config lifting and SecondHalfStep's
+// maximal-set exploration). n <= 0 selects runtime.GOMAXPROCS(0), the
+// default. Results are byte-identical for every worker count: shards
+// are merged into the same canonical-key maps and emitted in sorted
+// order.
+func WithWorkers(n int) Option {
+	return func(o *speedupOptions) { o.workers = n }
 }
 
 func buildOptions(opts []Option) speedupOptions {
@@ -73,24 +108,12 @@ func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
 	n := p.Alpha.Size()
 	rel := newEdgeRelation(p.Edge, n)
 
-	closed := closedSets(rel, n)
-
-	// New alphabet: closed sets, in deterministic order.
-	sets := make([]bitset.Set, 0, len(closed))
-	keys := make([]string, 0, len(closed))
-	byKey := make(map[string]bitset.Set, len(closed))
-	for _, s := range closed {
-		k := s.Key()
-		if _, dup := byKey[k]; !dup {
-			byKey[k] = s
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	indexOf := make(map[string]Label, len(keys))
-	for i, k := range keys {
-		sets = append(sets, byKey[k])
-		indexOf[k] = Label(i)
+	// New alphabet: the closed sets, already deduplicated and sorted by
+	// canonical key by closedSets.
+	sets := closedSets(rel, n)
+	indexOf := make(map[string]Label, len(sets))
+	for i, s := range sets {
+		indexOf[s.Key()] = Label(i)
 	}
 	alpha := derivedAlphabet(p.Alpha, sets)
 
@@ -115,11 +138,38 @@ func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
 			return true
 		})
 	}
+	configs := p.Node.Configs()
+	budget := newStateBudget(o.maxStates)
+	workers := o.workerCount(len(configs))
 	node := NewConstraint(p.Delta())
-	budget := o.maxStates
-	for _, cfg := range p.Node.Configs() {
-		if err := liftConfig(cfg, candidates, node, &budget); err != nil {
+	if workers <= 1 {
+		for _, cfg := range configs {
+			if err := liftConfig(cfg, candidates, node, budget); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Shard the per-config lifting across workers, each with a
+		// private accumulator; the shared atomic budget preserves the
+		// WithMaxStates semantics (total emissions bounded) exactly.
+		accs := make([]Constraint, workers)
+		for w := range accs {
+			accs[w] = NewConstraint(p.Delta())
+		}
+		err := runSharded(workers, len(configs), func(w, i int) error {
+			return liftConfig(configs[i], candidates, accs[w], budget)
+		})
+		if err != nil {
 			return nil, err
+		}
+		// Merge deterministically: accumulators insert into one
+		// canonical-key map, so the result is order-independent.
+		for _, acc := range accs {
+			for _, cfg := range acc.Configs() {
+				if err := node.Add(cfg); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 
@@ -128,7 +178,8 @@ func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
 }
 
 // closedSets returns all intersections of per-label compatibility sets,
-// including the full set (the empty intersection).
+// including the full set (the empty intersection), sorted by canonical
+// key so derived label numbering is identical across runs.
 func closedSets(rel edgeRelation, n int) []bitset.Set {
 	acc := map[string]bitset.Set{}
 	full := bitset.Full(n)
@@ -144,17 +195,23 @@ func closedSets(rel edgeRelation, n int) []bitset.Set {
 			acc[s.Key()] = s
 		}
 	}
-	out := make([]bitset.Set, 0, len(acc))
-	for _, s := range acc {
-		out = append(out, s)
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]bitset.Set, len(keys))
+	for i, k := range keys {
+		out[i] = acc[k]
 	}
 	return out
 }
 
 // liftConfig enumerates all multisets of new labels covering cfg: every
 // slot holding old label y is replaced by a new label whose set contains y.
-// Results are inserted into dst.
-func liftConfig(cfg Config, candidates [][]Label, dst Constraint, budget *int) error {
+// Results are inserted into dst. The budget is shared (atomically) with
+// any concurrent lifts of sibling configurations.
+func liftConfig(cfg Config, candidates [][]Label, dst Constraint, budget *stateBudget) error {
 	type group struct {
 		cands []Label
 		count int
@@ -176,9 +233,8 @@ func liftConfig(cfg Config, candidates [][]Label, dst Constraint, budget *int) e
 	var rec func(gi int) error
 	rec = func(gi int) error {
 		if gi == len(groups) {
-			*budget--
-			if *budget < 0 {
-				return fmt.Errorf("core: half step: derived node constraint exceeds state budget")
+			if !budget.take() {
+				return fmt.Errorf("core: half step: derived node constraint exceeds state budget: %w", ErrStateBudget)
 			}
 			c, err := NewConfigCounts(counts)
 			if err != nil {

@@ -1,0 +1,192 @@
+// Package fixpoint iterates the automatic speedup transformation of
+// Brandt (PODC 2019) to a fixed point, mechanizing the paper's
+// lower-bound recipe: if iterated round elimination maps a problem back
+// into its own isomorphism class without ever becoming 0-round
+// solvable, the problem requires Ω(log n) rounds on the corresponding
+// graph classes (Section 4.4 proves exactly this for sinkless
+// coloring).
+//
+// The driver applies core.Speedup repeatedly, memoizes every derived
+// problem's isomorphism class (hash-bucketed by core.IsoInvariantKey,
+// confirmed by core.Isomorphic), and classifies the trajectory:
+//
+//   - FixedPoint: Π_{i} is isomorphic to Π_{i-1} — one more round of
+//     speedup changes nothing, the paper's fixed-point situation.
+//   - Cycle: Π_{i} is isomorphic to some earlier Π_{j}, j < i-1 — the
+//     trajectory is eventually periodic with period > 1, which is just
+//     as good for lower bounds (the class never escapes the cycle).
+//   - Collapsed: a derived problem has no usable configuration left;
+//     iteration cannot continue (and the original problem is "easy" in
+//     the sense that round elimination empties it).
+//   - ZeroRound: a derived problem is 0-round solvable without inputs,
+//     ending the descent of Theorem 1 (upper-bound side).
+//   - BudgetExceeded: the step limit or core's WithMaxStates state
+//     budget ran out before the trajectory closed.
+package fixpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Kind classifies the outcome of an iterated speedup run.
+type Kind int
+
+const (
+	// FixedPoint: the last derived problem is isomorphic to its
+	// predecessor.
+	FixedPoint Kind = iota + 1
+	// Cycle: the last derived problem is isomorphic to an earlier,
+	// non-adjacent trajectory entry.
+	Cycle
+	// Collapsed: a derived problem became empty (no usable label
+	// supports both constraints).
+	Collapsed
+	// ZeroRound: the input or a derived problem is 0-round solvable
+	// without inputs. Checked before trajectory closure: a 0-round
+	// solvable fixed point carries no lower bound.
+	ZeroRound
+	// BudgetExceeded: MaxSteps or the core state budget was exhausted
+	// before the trajectory closed.
+	BudgetExceeded
+)
+
+// String renders the classification for logs and CLI output.
+func (k Kind) String() string {
+	switch k {
+	case FixedPoint:
+		return "fixed point"
+	case Cycle:
+		return "cycle"
+	case Collapsed:
+		return "collapsed"
+	case ZeroRound:
+		return "zero-round solvable"
+	case BudgetExceeded:
+		return "budget exceeded"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Options tunes a Run.
+type Options struct {
+	// MaxSteps bounds the number of speedup applications; 0 selects
+	// DefaultMaxSteps.
+	MaxSteps int
+	// Core options are forwarded to every core.Speedup call (worker
+	// count, strategy, state budget).
+	Core []core.Option
+}
+
+// DefaultMaxSteps bounds the iteration when Options.MaxSteps is unset.
+// Trajectories that neither close nor collapse within this many steps
+// are typically growing without bound.
+const DefaultMaxSteps = 16
+
+// Result is the classified trajectory of an iterated speedup run.
+type Result struct {
+	// Kind is the trajectory classification.
+	Kind Kind
+	// Trajectory holds Π_0 (the compressed input) followed by each
+	// derived problem, compact-renamed. For FixedPoint and Cycle the
+	// last entry is the one isomorphic to Trajectory[CycleStart].
+	Trajectory []*core.Problem
+	// Steps is the number of speedup applications performed.
+	Steps int
+	// CycleStart/CycleLen describe the closure for FixedPoint (CycleLen
+	// 1) and Cycle (CycleLen > 1): Trajectory[len-1] ≅
+	// Trajectory[CycleStart] and CycleLen = len-1-CycleStart.
+	CycleStart int
+	CycleLen   int
+	// Witness maps labels of the last trajectory entry onto
+	// Trajectory[CycleStart] for FixedPoint and Cycle.
+	Witness core.LabelMap
+	// Err records the underlying state-budget error when Kind is
+	// BudgetExceeded because core.Speedup gave up (nil when the step
+	// limit ran out instead).
+	Err error
+}
+
+// Last returns the final problem of the trajectory.
+func (r *Result) Last() *core.Problem {
+	return r.Trajectory[len(r.Trajectory)-1]
+}
+
+// Run iterates core.Speedup from p until the trajectory closes
+// (fixed point or cycle), trivializes (collapsed or 0-round solvable),
+// or exhausts its budget. The input is compressed first so that the
+// isomorphism comparisons see the same normal form core.Speedup
+// produces. Errors other than budget exhaustion (which classifies as
+// BudgetExceeded) are returned as-is.
+func Run(p *core.Problem, opts Options) (*Result, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	start := p.Compress()
+	res := &Result{Trajectory: []*core.Problem{start}}
+	if start.Node.Size() == 0 || start.Edge.Size() == 0 {
+		res.Kind = Collapsed
+		return res, nil
+	}
+	// 0-round solvability takes precedence over trajectory closure: a
+	// problem that is both a fixed point and 0-round solvable carries
+	// no lower bound (the paper's recipe requires the trajectory to
+	// never become 0-round solvable).
+	if _, ok := core.ZeroRoundSolvableNoInput(start); ok {
+		res.Kind = ZeroRound
+		return res, nil
+	}
+
+	// Isomorphism-class memo: invariant fingerprint → trajectory
+	// indices, confirmed pairwise by core.Isomorphic within a bucket.
+	buckets := map[string][]int{core.IsoInvariantKey(start): {0}}
+
+	cur := start
+	for step := 1; step <= maxSteps; step++ {
+		next, err := core.Speedup(cur, opts.Core...)
+		if err != nil {
+			if errors.Is(err, core.ErrStateBudget) {
+				res.Kind = BudgetExceeded
+				res.Err = err
+				return res, nil
+			}
+			return nil, err
+		}
+		next, _ = next.RenameCompact()
+		res.Trajectory = append(res.Trajectory, next)
+		res.Steps = step
+
+		if next.Node.Size() == 0 || next.Edge.Size() == 0 {
+			res.Kind = Collapsed
+			return res, nil
+		}
+		if _, ok := core.ZeroRoundSolvableNoInput(next); ok {
+			res.Kind = ZeroRound
+			return res, nil
+		}
+
+		key := core.IsoInvariantKey(next)
+		for _, j := range buckets[key] {
+			if m, ok := core.Isomorphic(next, res.Trajectory[j]); ok {
+				res.CycleStart = j
+				res.CycleLen = step - j
+				res.Witness = m
+				if res.CycleLen == 1 {
+					res.Kind = FixedPoint
+				} else {
+					res.Kind = Cycle
+				}
+				return res, nil
+			}
+		}
+		buckets[key] = append(buckets[key], step)
+		cur = next
+	}
+	res.Kind = BudgetExceeded
+	return res, nil
+}

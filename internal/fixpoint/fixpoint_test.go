@@ -1,0 +1,182 @@
+package fixpoint_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixpoint"
+	"repro/internal/problems"
+)
+
+// TestSinklessColoringFixedPoint is the Section 4.4 lower-bound
+// argument, mechanized: one round of speedup maps sinkless coloring
+// back into its own isomorphism class, for every tested Δ.
+func TestSinklessColoringFixedPoint(t *testing.T) {
+	for _, delta := range []int{3, 4, 5, 8} {
+		res, err := fixpoint.Run(problems.SinklessColoring(delta), fixpoint.Options{})
+		if err != nil {
+			t.Fatalf("delta=%d: %v", delta, err)
+		}
+		if res.Kind != fixpoint.FixedPoint {
+			t.Fatalf("delta=%d: classified %v, want fixed point", delta, res.Kind)
+		}
+		if res.Steps != 1 || res.CycleStart != 0 || res.CycleLen != 1 {
+			t.Fatalf("delta=%d: steps=%d cycleStart=%d cycleLen=%d, want 1/0/1",
+				delta, res.Steps, res.CycleStart, res.CycleLen)
+		}
+		if res.Witness == nil {
+			t.Fatalf("delta=%d: missing isomorphism witness", delta)
+		}
+		// The witness must actually map the last problem onto the cycle
+		// entry configuration-for-configuration.
+		last, entry := res.Last(), res.Trajectory[res.CycleStart]
+		for _, cfg := range last.Node.Configs() {
+			mapped, err := cfg.Remap(res.Witness)
+			if err != nil {
+				t.Fatalf("delta=%d: witness incomplete: %v", delta, err)
+			}
+			if !entry.Node.Contains(mapped) {
+				t.Fatalf("delta=%d: witness does not preserve node constraint", delta)
+			}
+		}
+	}
+}
+
+// TestSinklessOrientationReachesFixedPoint: in this encoding one
+// speedup step turns sinkless orientation into sinkless coloring, and
+// the trajectory closes at step 2 on that class (golden trajectory:
+// 2 labels / 1 edge / 3 node → 2/2/1 → 2/2/1).
+func TestSinklessOrientationReachesFixedPoint(t *testing.T) {
+	res, err := fixpoint.Run(problems.SinklessOrientation(3), fixpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != fixpoint.FixedPoint {
+		t.Fatalf("classified %v, want fixed point", res.Kind)
+	}
+	if res.Steps != 2 || res.CycleStart != 1 || res.CycleLen != 1 {
+		t.Fatalf("steps=%d cycleStart=%d cycleLen=%d, want 2/1/1", res.Steps, res.CycleStart, res.CycleLen)
+	}
+	wantStats := []core.Stats{
+		{Labels: 2, EdgeConfigs: 1, NodeConfigs: 3, Delta: 3},
+		{Labels: 2, EdgeConfigs: 2, NodeConfigs: 1, Delta: 3},
+		{Labels: 2, EdgeConfigs: 2, NodeConfigs: 1, Delta: 3},
+	}
+	if len(res.Trajectory) != len(wantStats) {
+		t.Fatalf("trajectory length %d, want %d", len(res.Trajectory), len(wantStats))
+	}
+	for i, want := range wantStats {
+		if got := res.Trajectory[i].Stats(); got != want {
+			t.Fatalf("Π_%d stats = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := core.Isomorphic(res.Trajectory[1], problems.SinklessColoring(3)); !ok {
+		t.Fatal("Π_1 of sinkless orientation is not sinkless coloring")
+	}
+}
+
+// TestWeakTwoColoringTrajectory is the Section 4.6 golden: the first
+// derived problem of pointer weak 2-coloring at Δ=3 has 17 usable
+// labels, 99 edge configurations and exactly 9 node configurations.
+// The second step is beyond any enumeration budget, so a single-step
+// run must classify as budget-exceeded with a clean trajectory.
+func TestWeakTwoColoringTrajectory(t *testing.T) {
+	res, err := fixpoint.Run(problems.WeakTwoColoringPointer(3), fixpoint.Options{MaxSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != fixpoint.BudgetExceeded {
+		t.Fatalf("classified %v, want budget exceeded (step limit)", res.Kind)
+	}
+	if res.Err != nil {
+		t.Fatalf("step-limited run should not carry a state-budget error, got %v", res.Err)
+	}
+	if res.Steps != 1 || len(res.Trajectory) != 2 {
+		t.Fatalf("steps=%d len(trajectory)=%d, want 1/2", res.Steps, len(res.Trajectory))
+	}
+	want := core.Stats{Labels: 17, EdgeConfigs: 99, NodeConfigs: 9, Delta: 3}
+	if got := res.Trajectory[1].Stats(); got != want {
+		t.Fatalf("Π_1 stats = %+v, want %+v", got, want)
+	}
+}
+
+// TestSuperweakZeroRound: the upper-bound side of Theorem 1 — one
+// speedup step makes superweak 2-coloring at Δ=3 0-round solvable.
+func TestSuperweakZeroRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("superweak derivation is heavy; skipped in -short mode")
+	}
+	res, err := fixpoint.Run(problems.Superweak(2, 3), fixpoint.Options{MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != fixpoint.ZeroRound {
+		t.Fatalf("classified %v, want zero-round solvable", res.Kind)
+	}
+	if res.Steps != 1 {
+		t.Fatalf("steps=%d, want 1", res.Steps)
+	}
+}
+
+// TestZeroRoundBeatsFixedPoint: a problem that is both a speedup fixed
+// point and trivially 0-round solvable must classify as ZeroRound — a
+// solvable fixed point carries no lower bound. ("A^3 / A A" maps to
+// itself under speedup but any node can output A immediately.)
+func TestZeroRoundBeatsFixedPoint(t *testing.T) {
+	p := core.MustParse("node:\nA^3\nedge:\nA A\n")
+	res, err := fixpoint.Run(p, fixpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != fixpoint.ZeroRound {
+		t.Fatalf("classified %v, want zero-round solvable", res.Kind)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("steps=%d, want 0 (the input itself is 0-round solvable)", res.Steps)
+	}
+}
+
+// TestStateBudgetClassification: when core.Speedup itself gives up on
+// the WithMaxStates budget, the driver reports BudgetExceeded and
+// surfaces the wrapped sentinel instead of failing.
+func TestStateBudgetClassification(t *testing.T) {
+	res, err := fixpoint.Run(problems.WeakTwoColoringPointer(3), fixpoint.Options{
+		MaxSteps: 2,
+		Core:     []core.Option{core.WithMaxStates(100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != fixpoint.BudgetExceeded {
+		t.Fatalf("classified %v, want budget exceeded", res.Kind)
+	}
+	if !errors.Is(res.Err, core.ErrStateBudget) {
+		t.Fatalf("Err does not wrap ErrStateBudget: %v", res.Err)
+	}
+}
+
+// TestParallelFixpointMatchesSequential: the driver composes with the
+// parallel engine — same classification and byte-identical trajectories
+// for any worker count.
+func TestParallelFixpointMatchesSequential(t *testing.T) {
+	run := func(workers int) *fixpoint.Result {
+		t.Helper()
+		res, err := fixpoint.Run(problems.SinklessOrientation(3), fixpoint.Options{
+			Core: []core.Option{core.WithWorkers(workers)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(4)
+	if seq.Kind != par.Kind || seq.Steps != par.Steps || seq.CycleStart != par.CycleStart {
+		t.Fatalf("classification diverged: seq=%+v par=%+v", seq, par)
+	}
+	for i := range seq.Trajectory {
+		if seq.Trajectory[i].String() != par.Trajectory[i].String() {
+			t.Fatalf("Π_%d diverged between worker counts", i)
+		}
+	}
+}

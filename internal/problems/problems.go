@@ -224,6 +224,38 @@ func Superweak(k, delta int) *core.Problem {
 	return mustProblem(alpha, edge, node)
 }
 
+// Entry is one catalog problem together with its known round-elimination
+// behavior, for table-driven tests and the fixpoint driver.
+type Entry struct {
+	// Name identifies the entry, "family/parameters".
+	Name string
+	// Problem is the instantiated problem.
+	Problem *core.Problem
+	// FixedPoint records whether one speedup step is known to map the
+	// problem back into its own isomorphism class (the paper's
+	// lower-bound fixed points of Section 4.4).
+	FixedPoint bool
+}
+
+// Catalog returns every problem of the paper at representative
+// parameters, each small enough for an exact Speedup run in tests. The
+// FixedPoint flags encode Section 4.4: sinkless coloring is a speedup
+// fixed point at every Δ ≥ 3. Sinkless orientation is not flagged —
+// one speedup step turns it into sinkless coloring, so it enters the
+// fixed-point class only at the second step.
+func Catalog() []Entry {
+	return []Entry{
+		{Name: "sinkless-coloring/delta=3", Problem: SinklessColoring(3), FixedPoint: true},
+		{Name: "sinkless-coloring/delta=5", Problem: SinklessColoring(5), FixedPoint: true},
+		{Name: "sinkless-orientation/delta=3", Problem: SinklessOrientation(3)},
+		{Name: "3-coloring/delta=2", Problem: KColoring(3, 2)},
+		{Name: "4-coloring/delta=2", Problem: KColoring(4, 2)},
+		{Name: "weak2-pointer/delta=3", Problem: WeakTwoColoringPointer(3)},
+		{Name: "weak2-pointer/delta=4", Problem: WeakTwoColoringPointer(4)},
+		{Name: "superweak/k=2,delta=3", Problem: Superweak(2, 3)},
+	}
+}
+
 func mustDelta(delta, minDelta int) {
 	if delta < minDelta {
 		panic(fmt.Sprintf("problems: Δ=%d below minimum %d", delta, minDelta))

@@ -119,6 +119,29 @@ func TestWeakTwoColoringIsSuperweakRestriction(t *testing.T) {
 	}
 }
 
+func TestCatalog(t *testing.T) {
+	entries := Catalog()
+	if len(entries) < 6 {
+		t.Fatalf("catalog unexpectedly small: %d entries", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.Name == "" {
+			t.Fatal("catalog entry with empty name")
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate catalog name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Problem == nil {
+			t.Fatalf("%s: nil problem", e.Name)
+		}
+		if err := e.Problem.Validate(); err != nil {
+			t.Fatalf("%s: invalid problem: %v", e.Name, err)
+		}
+	}
+}
+
 func TestConstructorPanics(t *testing.T) {
 	for _, fn := range []func(){
 		func() { SinklessColoring(0) },
