@@ -16,6 +16,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/independence"
 	"repro/internal/matching"
+	"repro/internal/oracle"
 	"repro/internal/problems"
 	"repro/internal/sim"
 	"repro/internal/solve"
@@ -230,6 +231,112 @@ func BenchmarkE7Fixpoint(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE8ParallelSim: the parallelized simulator against its
+// sequential baseline, on workloads whose per-node output functions
+// dominate (Cole–Vishkin view walks and the weak 2-coloring chain
+// evolution). "seq" pins one worker; "par" uses GOMAXPROCS. Outputs
+// are byte-identical either way (cross-checked in internal/sim tests).
+func BenchmarkE8ParallelSim(b *testing.B) {
+	variants := []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}}
+
+	for _, n := range []int{256, 1024} {
+		rng := rand.New(rand.NewSource(1))
+		g, err := graph.Ring(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		orient, err := algorithms.RingOrientation(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids, err := graph.UniqueIDs(g, 4*n, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg := algorithms.RingThreeColoring{IDSpace: 4 * n}
+		in := sim.Inputs{IDs: ids, Orientation: &orient}
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("ring3col/n=%d/%s", n, v.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(g, in, alg, sim.WithWorkers(v.workers)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	for _, tc := range []struct{ n, delta int }{{64, 3}, {128, 3}} {
+		rng := rand.New(rand.NewSource(2))
+		g, err := graph.RandomRegular(tc.n, tc.delta, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids, err := graph.UniqueIDs(g, 2*tc.n, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg := algorithms.WeakTwoColoring{IDSpace: 2 * tc.n}
+		in := sim.Inputs{IDs: ids}
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("weak2/n=%d/%s", tc.n, v.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(g, in, alg, sim.WithWorkers(v.workers)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE9OracleSearch: the brute-force solvability oracle on the
+// sinkless-orientation instance family at Δ=3 (K4, K_{3,3}, prism with
+// shuffled ports), sequential vs parallel. The t=1 point is unsolvable
+// (exhaustive refutation); the oriented t=1 superweak point is the
+// solvable counterpart from the conformance harness.
+func BenchmarkE9OracleSearch(b *testing.B) {
+	bases, err := oracle.RegularBases(3, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plain := oracle.WithShuffledPorts(bases, 8, 1)
+	oriented := oracle.WithRandomOrientations(oracle.WithShuffledPorts(bases, 4, 2), 3, 3)
+	so := problems.SinklessOrientation(3)
+	sw := problems.Superweak(2, 3)
+	cases := []struct {
+		name   string
+		p      *core.Problem
+		insts  []oracle.Instance
+		rounds int
+	}{
+		{"sinkless-orientation/t=1", so, plain, 1},
+		{"sinkless-orientation/t=2", so, plain, 2},
+		{"superweak-oriented/t=1", sw, oriented, 1},
+	}
+	for _, tc := range cases {
+		for _, v := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(tc.name+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					verdict, err := oracle.Decide(tc.p, tc.insts, tc.rounds, oracle.WithWorkers(v.workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if verdict.Solvable != (tc.p == sw) {
+						b.Fatalf("unexpected verdict %v for %s", verdict.Solvable, tc.name)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,190 @@
+// Command verify runs the brute-force solvability oracle and the
+// conformance harness of internal/oracle, and emits machine-readable
+// JSON verdicts.
+//
+// Usage:
+//
+//	verify -problem <catalog-name> [-rounds t] [-n maxN] [-workers k]
+//	       [-family name] [-seed s] [-relaxed] [-conformance] [-list]
+//
+// In the default mode the command decides whether the named catalog
+// problem is solvable by a single deterministic t-round port-numbering
+// algorithm on the selected instance family, printing the verdict
+// (including the witness algorithm, when one exists) as JSON:
+//
+//	verify -problem sinkless-orientation/delta=3 -rounds 1 -family oriented-regular
+//
+// With -conformance it instead cross-validates the oracle against the
+// speedup engine and the fixpoint driver (zero-round equivalence,
+// speedup soundness, fixpoint upper bounds) and exits non-zero if any
+// check fails:
+//
+//	verify -problem superweak/k=2,delta=3 -conformance
+//
+// Families (sized by -n where applicable, seeded by -seed):
+//
+//	cycles            every port numbering of C_3..C_n        (Δ=2)
+//	oriented-cycles   cycles × every edge orientation         (Δ=2)
+//	trees             every port numbering of the depth-1
+//	                  truncated Δ-regular tree (use -relaxed)
+//	oriented-trees    trees × every edge orientation
+//	regular           small Δ-regular graphs, shuffled ports
+//	oriented-regular  regular × seeded random orientations
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/problems"
+)
+
+func main() {
+	problem := flag.String("problem", "", "catalog problem name (see -list)")
+	rounds := flag.Int("rounds", 1, "round count t to decide")
+	maxN := flag.Int("n", 5, "maximum instance size for sized families")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	family := flag.String("family", "", "instance family (defaults to regular, or cycles at Δ=2)")
+	seed := flag.Int64("seed", 1, "seed for shuffled/oriented family variants")
+	relaxed := flag.Bool("relaxed", false, "exempt nodes of degree != Δ from the node constraint (tree families)")
+	conformance := flag.Bool("conformance", false, "run the conformance harness instead of a single decision")
+	list := flag.Bool("list", false, "list catalog problems and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range problems.Catalog() {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+	if err := run(*problem, *rounds, *maxN, *workers, *family, *seed, *relaxed, *conformance); err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+}
+
+func lookupProblem(name string) (*core.Problem, error) {
+	var known []string
+	for _, e := range problems.Catalog() {
+		if e.Name == name {
+			return e.Problem, nil
+		}
+		known = append(known, e.Name)
+	}
+	sort.Strings(known)
+	return nil, fmt.Errorf("unknown problem %q; catalog: %s", name, strings.Join(known, ", "))
+}
+
+func buildFamily(name string, delta, maxN int, seed int64) ([]oracle.Instance, error) {
+	if name == "" {
+		if delta == 2 {
+			name = "cycles"
+		} else {
+			name = "regular"
+		}
+	}
+	switch name {
+	case "cycles":
+		return oracle.CycleRange(3, maxN)
+	case "oriented-cycles":
+		insts, err := oracle.CycleRange(3, maxN)
+		if err != nil {
+			return nil, err
+		}
+		return oracle.WithAllOrientations(insts)
+	case "trees":
+		return oracle.Trees(delta, 1)
+	case "oriented-trees":
+		insts, err := oracle.Trees(delta, 1)
+		if err != nil {
+			return nil, err
+		}
+		return oracle.WithAllOrientations(insts)
+	case "regular":
+		bases, err := oracle.RegularBases(delta, maxN+2*delta)
+		if err != nil {
+			return nil, err
+		}
+		return oracle.WithShuffledPorts(bases, 6, seed), nil
+	case "oriented-regular":
+		bases, err := oracle.RegularBases(delta, maxN+2*delta)
+		if err != nil {
+			return nil, err
+		}
+		return oracle.WithRandomOrientations(oracle.WithShuffledPorts(bases, 3, seed), 3, seed+1), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q (cycles, oriented-cycles, trees, oriented-trees, regular, oriented-regular)", name)
+	}
+}
+
+// decision is the JSON envelope for a single oracle run.
+type decision struct {
+	Problem string          `json:"problem"`
+	Family  string          `json:"family"`
+	Seed    int64           `json:"seed"`
+	Verdict *oracle.Verdict `json:"verdict"`
+}
+
+func run(problemName string, rounds, maxN, workers int, family string, seed int64, relaxed, conformance bool) error {
+	if problemName == "" {
+		return fmt.Errorf("-problem is required (use -list for the catalog)")
+	}
+	p, err := lookupProblem(problemName)
+	if err != nil {
+		return err
+	}
+	opts := []oracle.Option{oracle.WithWorkers(workers)}
+	if relaxed {
+		opts = append(opts, oracle.WithRelaxedDegrees())
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	if conformance {
+		fams, err := oracle.DefaultFamilies(p.Delta(), seed)
+		if err != nil {
+			return err
+		}
+		maxT := rounds
+		if maxT < 1 {
+			maxT = 1
+		}
+		rep, err := oracle.Conformance(problemName, p, fams, maxT, opts...)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if !rep.OK {
+			return fmt.Errorf("conformance checks failed for %s", problemName)
+		}
+		return nil
+	}
+
+	insts, err := buildFamily(family, p.Delta(), maxN, seed)
+	if err != nil {
+		return err
+	}
+	v, err := oracle.Decide(p, insts, rounds, opts...)
+	if err != nil {
+		return err
+	}
+	return enc.Encode(decision{Problem: problemName, Family: familyLabel(family, p.Delta()), Seed: seed, Verdict: v})
+}
+
+func familyLabel(name string, delta int) string {
+	if name != "" {
+		return name
+	}
+	if delta == 2 {
+		return "cycles"
+	}
+	return "regular"
+}

@@ -1,0 +1,56 @@
+package core
+
+import "sort"
+
+// DistinctPermutations returns all distinct orderings of a multiset of
+// labels, in lexicographic order. The input slice is sorted in place.
+// Shared by the solver, the synthesizer, and the solvability oracle,
+// which all enumerate per-port assignments of node configurations.
+func DistinctPermutations(labels []Label) [][]Label {
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	var out [][]Label
+	cur := make([]Label, 0, len(labels))
+	used := make([]bool, len(labels))
+	var rec func()
+	rec = func() {
+		if len(cur) == len(labels) {
+			out = append(out, append([]Label(nil), cur...))
+			return
+		}
+		var last Label = -1
+		haveLast := false
+		for i := range labels {
+			if used[i] || (haveLast && labels[i] == last) {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, labels[i])
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+			last, haveLast = labels[i], true
+		}
+	}
+	rec()
+	return out
+}
+
+// AllLabelTuples returns every tuple of the given arity over the
+// labels 0..nLabels-1, in lexicographic order.
+func AllLabelTuples(nLabels, arity int) [][]Label {
+	var out [][]Label
+	cur := make([]Label, arity)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == arity {
+			out = append(out, append([]Label(nil), cur...))
+			return
+		}
+		for l := 0; l < nLabels; l++ {
+			cur[pos] = Label(l)
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,107 +1,27 @@
 package core
 
 import (
-	"sync"
-	"sync/atomic"
+	"repro/internal/par"
 )
 
+// The enumeration hot paths share the repository-wide parallel
+// substrate of internal/par; these aliases keep core's historical
+// names while the implementation lives in one place shared with
+// internal/sim and internal/oracle.
+
 // stateBudget is a concurrency-safe countdown over the WithMaxStates
-// cap. Sequential and parallel enumeration paths share it, so the
-// "total states explored" semantics are identical for every worker
-// count: take succeeds exactly maxStates times in total.
-type stateBudget struct {
-	remaining atomic.Int64
-}
+// cap: take succeeds exactly maxStates times in total, for every
+// worker count.
+type stateBudget = par.Budget
 
-func newStateBudget(n int) *stateBudget {
-	b := &stateBudget{}
-	b.remaining.Store(int64(n))
-	return b
-}
+func newStateBudget(n int) *stateBudget { return par.NewBudget(n) }
 
-// take consumes one unit; it reports false once the budget is spent.
-func (b *stateBudget) take() bool {
-	return b.remaining.Add(-1) >= 0
-}
+// runIndexed executes fn(i) for i in [0, n) across workers with
+// dynamic work-stealing; see par.RunIndexed.
+func runIndexed(workers, n int, fn func(i int)) { par.RunIndexed(workers, n, fn) }
 
-// runIndexed executes fn(i) for i in [0, n) across the given number of
-// workers, handing out indices through an atomic cursor (dynamic
-// work-stealing, which tolerates wildly unbalanced item costs). With
-// workers <= 1 it degrades to a plain loop with zero goroutine
-// overhead.
-func runIndexed(workers, n int, fn func(i int)) {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// runSharded is runIndexed for workers that accumulate into per-worker
-// state: fn receives the worker id alongside the item index and may
-// fail. The first error (in worker order) aborts the remaining items of
-// every worker and is returned.
+// runSharded is runIndexed for per-worker accumulators with error
+// propagation; see par.RunSharded.
 func runSharded(workers, n int, fn func(worker, i int) error) error {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	var cursor atomic.Int64
-	var failed atomic.Bool
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				if failed.Load() {
-					return
-				}
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(w, i); err != nil {
-					errs[w] = err
-					failed.Store(true)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return par.RunSharded(workers, n, fn)
 }

@@ -3,10 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/par"
 )
 
 // ErrStateBudget is wrapped by every budget-exhaustion failure of the
@@ -39,17 +39,7 @@ type speedupOptions struct {
 // independent work items: the configured count (GOMAXPROCS when
 // unset), clamped to n.
 func (o speedupOptions) workerCount(n int) int {
-	w := o.workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
+	return par.WorkerCount(o.workers, n)
 }
 
 // Option configures Speedup, HalfStep and SecondHalfStep.
@@ -233,7 +223,7 @@ func liftConfig(cfg Config, candidates [][]Label, dst Constraint, budget *stateB
 	var rec func(gi int) error
 	rec = func(gi int) error {
 		if gi == len(groups) {
-			if !budget.take() {
+			if !budget.Take() {
 				return fmt.Errorf("core: half step: derived node constraint exceeds state budget: %w", ErrStateBudget)
 			}
 			c, err := NewConfigCounts(counts)

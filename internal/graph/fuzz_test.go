@@ -1,0 +1,128 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// FuzzGraphInvariants generates graphs from the package generators
+// under fuzzed parameters and port shuffles, then checks the structural
+// invariants every consumer (simulator, oracle, solver) relies on:
+// degree bounds, symmetric port maps, edge/endpoint consistency, and
+// view construction consistency between the memoizing builder and the
+// direct recursion.
+func FuzzGraphInvariants(f *testing.F) {
+	f.Add(int64(1), int64(8), int64(3), int64(0))
+	f.Add(int64(2), int64(10), int64(3), int64(1))
+	f.Add(int64(3), int64(12), int64(4), int64(2))
+	f.Add(int64(4), int64(9), int64(2), int64(3))
+	f.Add(int64(5), int64(6), int64(5), int64(4))
+	f.Fuzz(func(t *testing.T, seed, nRaw, deltaRaw, kind int64) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(abs(nRaw)%14)        // 3..16
+		delta := 1 + int(abs(deltaRaw)%4) // 1..4
+
+		var g *graph.Graph
+		var err error
+		switch abs(kind) % 5 {
+		case 0:
+			g, err = graph.Ring(n)
+		case 1:
+			g, err = graph.RegularTree(delta, 1+int(abs(nRaw)%3))
+		case 2:
+			if (n*delta)%2 != 0 {
+				n++
+			}
+			if n <= delta {
+				n = delta + 2
+				if (n*delta)%2 != 0 {
+					n++
+				}
+			}
+			g, err = graph.RandomRegular(n, delta, rng)
+		case 3:
+			g, err = graph.Torus(3+int(abs(nRaw)%3), 3+int(abs(deltaRaw)%3))
+		case 4:
+			g, err = graph.Path(n)
+		}
+		if err != nil {
+			t.Fatalf("generator rejected in-range parameters: %v", err)
+		}
+		g.ShufflePorts(rng)
+		checkInvariants(t, g)
+
+		// A second shuffle of a clone must leave the original intact.
+		clone := g.Clone()
+		clone.ShufflePorts(rng)
+		checkInvariants(t, clone)
+		checkInvariants(t, g)
+	})
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		if x == -x { // minInt64
+			return 0
+		}
+		return -x
+	}
+	return x
+}
+
+// checkInvariants asserts the structural graph invariants.
+func checkInvariants(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	degSum := 0
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		degSum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+		for port := 0; port < d; port++ {
+			w, id, wPort := g.Neighbor(v, port)
+			if w < 0 || w >= g.N() || w == v {
+				t.Fatalf("node %d port %d: bad neighbor %d", v, port, w)
+			}
+			// Port maps must be symmetric: the neighbor's wPort leads
+			// straight back along the same edge.
+			back, backID, backPort := g.Neighbor(w, wPort)
+			if back != v || backID != id || backPort != port {
+				t.Fatalf("asymmetric port map at node %d port %d: reverse is (%d, %d, %d)",
+					v, port, back, backID, backPort)
+			}
+			// Edge endpoints and PortOf agree with the adjacency view.
+			eu, ev, pu, pv := g.EdgeEndpoints(id)
+			if !(eu == v && ev == w || eu == w && ev == v) {
+				t.Fatalf("edge %d endpoints (%d,%d) do not match adjacency (%d,%d)", id, eu, ev, v, w)
+			}
+			if g.PortOf(v, id) != port || g.PortOf(w, id) != wPort {
+				t.Fatalf("PortOf disagrees with adjacency on edge %d", id)
+			}
+			if eu == v && (pu != port || pv != wPort) || eu == w && (pv != port || pu != wPort) {
+				t.Fatalf("edge %d port record (%d,%d) does not match adjacency (%d,%d)", id, pu, pv, port, wPort)
+			}
+		}
+	}
+	if degSum != 2*g.M() {
+		t.Fatalf("degree sum %d != 2M = %d", degSum, 2*g.M())
+	}
+	if g.MaxDegree() != maxDeg {
+		t.Fatalf("MaxDegree() = %d, scan found %d", g.MaxDegree(), maxDeg)
+	}
+
+	// View-construction consistency: the memoizing builder and the
+	// direct recursion agree on every node's radius-t view key.
+	b := sim.NewViewBuilder(g, sim.Inputs{})
+	for tRad := 0; tRad <= 2; tRad++ {
+		for v := 0; v < g.N(); v++ {
+			if b.View(v, tRad).Key() != sim.BuildView(g, sim.Inputs{}, v, tRad).Key() {
+				t.Fatalf("view builder and direct recursion diverge at node %d radius %d", v, tRad)
+			}
+		}
+	}
+}

@@ -150,6 +150,64 @@ func (g *Graph) PortOf(v, id int) int {
 	panic("graph: PortOf: node is not an endpoint of the edge")
 }
 
+// Clone returns a deep copy of the graph sharing no state with the
+// original: same nodes, edges, and port numbering. Family enumerators
+// use it to derive many port-numbered variants from one base graph.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{
+		n:     g.n,
+		adj:   make([][]halfEdge, g.n),
+		edges: append([]edge(nil), g.edges...),
+	}
+	for v := range g.adj {
+		cp.adj[v] = append([]halfEdge(nil), g.adj[v]...)
+	}
+	return cp
+}
+
+// PermutePorts renumbers node v's ports by the given permutation:
+// the edge currently on port i moves to port perm[i]. All
+// cross-references are updated. It rejects slices that are not
+// permutations of 0..deg(v)-1.
+func (g *Graph) PermutePorts(v int, perm []int) error {
+	d := len(g.adj[v])
+	if len(perm) != d {
+		return fmt.Errorf("graph: PermutePorts: got %d entries for degree-%d node", len(perm), d)
+	}
+	seen := make([]bool, d)
+	for _, p := range perm {
+		if p < 0 || p >= d || seen[p] {
+			return fmt.Errorf("graph: PermutePorts: %v is not a permutation of 0..%d", perm, d-1)
+		}
+		seen[p] = true
+	}
+	// Decompose into transpositions; SwapPorts maintains every
+	// cross-reference invariant.
+	current := make([]int, d) // current[i] = original port now at position i
+	for i := range current {
+		current[i] = i
+	}
+	inv := make([]int, d) // inv[newPort] = original port
+	for oldPort, newPort := range perm {
+		inv[newPort] = oldPort
+	}
+	for pos := 0; pos < d; pos++ {
+		want := inv[pos]
+		if current[pos] == want {
+			continue
+		}
+		j := pos + 1
+		for ; j < d; j++ {
+			if current[j] == want {
+				break
+			}
+		}
+		g.SwapPorts(v, pos, j)
+		current[pos], current[j] = current[j], current[pos]
+	}
+	return nil
+}
+
 // SwapPorts exchanges two port numbers of node v, updating all
 // cross-references.
 func (g *Graph) SwapPorts(v, p1, p2 int) {

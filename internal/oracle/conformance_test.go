@@ -1,0 +1,146 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixpoint"
+	"repro/internal/oracle"
+	"repro/internal/problems"
+)
+
+// TestCatalogConformance is the acceptance harness: for every catalog
+// problem, the oracle's first-principles verdicts must agree with the
+// round-elimination machinery —
+//
+//   - zero-round equivalence on pairing-complete plain families, for
+//     the problem and its speedup;
+//   - speedup soundness (Speedup(Π) solvable in t−1 ⇒ Π solvable in t)
+//     on oriented families for t ∈ {1, 2};
+//   - the fixpoint driver's ZeroRound upper bounds.
+//
+// The superweak entry exercises the marquee point — its trajectory
+// becomes 0-round solvable after one step, so the oracle must find a
+// 1-round algorithm on oriented Δ=3 instances — and is the expensive
+// one (its Speedup call dominates), so it is skipped in -short mode
+// like the other superweak derivations.
+func TestCatalogConformance(t *testing.T) {
+	families := map[int]oracle.Families{}
+	for _, e := range problems.Catalog() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			if testing.Short() && e.Name == "superweak/k=2,delta=3" {
+				t.Skip("superweak derivation is heavy; skipped in -short mode")
+			}
+			delta := e.Problem.Delta()
+			fams, ok := families[delta]
+			if !ok {
+				var err error
+				fams, err = oracle.DefaultFamilies(delta, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				families[delta] = fams
+			}
+			var opts []oracle.Option
+			if e.Name == "superweak/k=2,delta=3" {
+				// The default budget deliberately under-funds heavy
+				// trajectories; superweak's closes within 200k states
+				// and is the one ZeroRound upper bound worth paying
+				// for.
+				opts = append(opts, oracle.WithFixpointStates(200_000))
+			}
+			rep, err := oracle.Conformance(e.Name, e.Problem, fams, 2, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range rep.Checks {
+				if !c.Holds {
+					t.Errorf("check %s failed: %s", c.Name, c.Detail)
+				}
+			}
+			if !rep.OK {
+				t.Fatalf("conformance failed for %s", e.Name)
+			}
+		})
+	}
+}
+
+// TestSuperweakFixpointUpperBound pins the marquee conformance point
+// explicitly: the fixpoint driver classifies superweak 2-coloring at
+// Δ=3 as 0-round solvable after exactly one speedup step, and the
+// oracle independently confirms a 1-round algorithm on oriented Δ=3
+// instances.
+func TestSuperweakFixpointUpperBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("superweak derivation is heavy; skipped in -short mode")
+	}
+	p := problems.Superweak(2, 3)
+	res, err := fixpoint.Run(p, fixpoint.Options{MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != fixpoint.ZeroRound || res.Steps != 1 {
+		t.Fatalf("fixpoint classified %v after %d steps, want zero-round after 1", res.Kind, res.Steps)
+	}
+	fams, err := oracle.DefaultFamilies(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := oracle.Decide(p, fams.Oriented, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Solvable {
+		t.Fatal("oracle contradicts the 1-round upper bound for superweak on oriented instances")
+	}
+}
+
+// TestConformanceRejectsBadMaxT covers the argument validation.
+func TestConformanceRejectsBadMaxT(t *testing.T) {
+	fams, err := oracle.DefaultFamilies(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.Conformance("x", problems.KColoring(2, 2), fams, 0); err == nil {
+		t.Fatal("maxT=0 accepted")
+	}
+}
+
+// TestSpeedupSoundnessOnTrees runs the decode-direction check on the
+// truncated-tree family with relaxed leaf degrees: the implication is
+// family-independent, so it must hold there too.
+func TestSpeedupSoundnessOnTrees(t *testing.T) {
+	tr, err := oracle.Trees(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented, err := oracle.WithAllOrientations(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct {
+		name string
+		p    *core.Problem
+	}{
+		{"sinkless-orientation", problems.SinklessOrientation(3)},
+		{"sinkless-coloring", problems.SinklessColoring(3)},
+	} {
+		sp, err := core.Speedup(e.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := oracle.Decide(sp, oriented, 0, oracle.WithRelaxedDegrees())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := oracle.Decide(e.p, oriented, 1, oracle.WithRelaxedDegrees())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Solvable && !o.Solvable {
+			t.Fatalf("%s: speedup soundness violated on trees (speedup@0=%v, orig@1=%v)",
+				e.name, d.Solvable, o.Solvable)
+		}
+	}
+}

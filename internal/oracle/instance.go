@@ -1,0 +1,315 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Instance is one concrete port-numbered graph, optionally labeled with
+// round-0 inputs, on which the oracle evaluates candidate algorithms.
+type Instance struct {
+	Name string
+	G    *graph.Graph
+	In   sim.Inputs
+}
+
+// MaxFamilySize caps the exhaustive enumerators: a family larger than
+// this is a sign the caller asked for an infeasible parameterization,
+// and the enumerator errors out instead of allocating without bound.
+const MaxFamilySize = 16384
+
+// nthPermutation returns the k-th permutation of 0..d-1 in
+// lexicographic order (factorial number system decode).
+func nthPermutation(d, k int) []int {
+	avail := make([]int, d)
+	for i := range avail {
+		avail[i] = i
+	}
+	fact := 1
+	for i := 2; i < d; i++ {
+		fact *= i
+	}
+	out := make([]int, 0, d)
+	for i := d - 1; i >= 1; i-- {
+		idx := k / fact
+		k %= fact
+		out = append(out, avail[idx])
+		avail = append(avail[:idx], avail[idx+1:]...)
+		fact /= i
+	}
+	out = append(out, avail[0])
+	return out
+}
+
+func factorial(d int) int {
+	f := 1
+	for i := 2; i <= d; i++ {
+		f *= i
+	}
+	return f
+}
+
+// PortNumberings enumerates every port numbering of the base graph:
+// the product, over all nodes, of all permutations of the node's
+// ports. The base graph itself is the all-identity entry. Instances
+// are named name/ports=<i0.i1...> by per-node permutation index.
+func PortNumberings(base *graph.Graph, name string) ([]Instance, error) {
+	total := 1
+	radix := make([]int, base.N())
+	for v := 0; v < base.N(); v++ {
+		radix[v] = factorial(base.Degree(v))
+		total *= radix[v]
+		if total > MaxFamilySize {
+			return nil, fmt.Errorf("oracle: port numberings of %s exceed the %d-instance cap", name, MaxFamilySize)
+		}
+	}
+	out := make([]Instance, 0, total)
+	idx := make([]int, base.N())
+	for {
+		g := base.Clone()
+		label := name + "/ports="
+		for v := 0; v < base.N(); v++ {
+			if v > 0 {
+				label += "."
+			}
+			label += strconv.Itoa(idx[v])
+			if idx[v] != 0 {
+				if err := g.PermutePorts(v, nthPermutation(base.Degree(v), idx[v])); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out = append(out, Instance{Name: label, G: g})
+		// Increment the mixed-radix counter.
+		v := 0
+		for ; v < base.N(); v++ {
+			idx[v]++
+			if idx[v] < radix[v] {
+				break
+			}
+			idx[v] = 0
+		}
+		if v == base.N() {
+			return out, nil
+		}
+	}
+}
+
+// Cycles returns every port numbering of the cycle C_n (2^n
+// instances): the exhaustive Δ=2 family.
+func Cycles(n int) ([]Instance, error) {
+	base, err := graph.Ring(n)
+	if err != nil {
+		return nil, err
+	}
+	return PortNumberings(base, "C"+strconv.Itoa(n))
+}
+
+// CycleRange returns the union of Cycles(n) for n in [minN, maxN].
+func CycleRange(minN, maxN int) ([]Instance, error) {
+	var out []Instance
+	for n := minN; n <= maxN; n++ {
+		insts, err := Cycles(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, insts...)
+		if len(out) > MaxFamilySize {
+			return nil, fmt.Errorf("oracle: cycle range [%d,%d] exceeds the %d-instance cap", minN, maxN, MaxFamilySize)
+		}
+	}
+	return out, nil
+}
+
+// Trees returns every port numbering of the Δ-regular tree truncated
+// at the given depth (leaves have degree 1, so deciding problems on
+// this family requires WithRelaxedDegrees).
+func Trees(delta, depth int) ([]Instance, error) {
+	base, err := graph.RegularTree(delta, depth)
+	if err != nil {
+		return nil, err
+	}
+	return PortNumberings(base, fmt.Sprintf("T%d.%d", delta, depth))
+}
+
+// WithAllOrientations expands every instance into one copy per
+// orientation of its edge set (2^m copies each).
+func WithAllOrientations(insts []Instance) ([]Instance, error) {
+	var out []Instance
+	for _, inst := range insts {
+		m := inst.G.M()
+		if m >= 20 || len(out)+(1<<uint(m)) > MaxFamilySize {
+			return nil, fmt.Errorf("oracle: orienting %s (%d edges) exceeds the %d-instance cap", inst.Name, m, MaxFamilySize)
+		}
+		for mask := 0; mask < 1<<uint(m); mask++ {
+			o := graph.Orientation{Toward: make([]int, m)}
+			for id := 0; id < m; id++ {
+				u, v, _, _ := inst.G.EdgeEndpoints(id)
+				if mask&(1<<uint(id)) == 0 {
+					o.Toward[id] = u
+				} else {
+					o.Toward[id] = v
+				}
+			}
+			in := inst.In
+			in.Orientation = &o
+			out = append(out, Instance{
+				Name: inst.Name + "/orient=" + strconv.Itoa(mask),
+				G:    inst.G,
+				In:   in,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WithRandomOrientations expands every instance into k copies with
+// seeded pseudo-random orientations; byte-reproducible for a given
+// seed.
+func WithRandomOrientations(insts []Instance, k int, seed int64) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Instance, 0, len(insts)*k)
+	for _, inst := range insts {
+		for i := 0; i < k; i++ {
+			o := graph.RandomOrientation(inst.G, rng)
+			in := inst.In
+			in.Orientation = &o
+			out = append(out, Instance{
+				Name: inst.Name + "/rorient=" + strconv.Itoa(i),
+				G:    inst.G,
+				In:   in,
+			})
+		}
+	}
+	return out
+}
+
+// WithUniqueIDs labels every instance with the deterministic unique
+// identifiers 1..n (node v gets v+1).
+func WithUniqueIDs(insts []Instance) []Instance {
+	out := make([]Instance, len(insts))
+	for i, inst := range insts {
+		ids := make([]int, inst.G.N())
+		for v := range ids {
+			ids[v] = v + 1
+		}
+		in := inst.In
+		in.IDs = ids
+		out[i] = Instance{Name: inst.Name + "/ids", G: inst.G, In: in}
+	}
+	return out
+}
+
+// Prism returns the triangular prism C_3 × K_2 (3-regular, n = 6).
+func Prism() *graph.Graph {
+	b := graph.NewBuilder(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {0, 3}, {1, 4}, {2, 5}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			panic(err) // static construction; cannot fail
+		}
+	}
+	return b.Build()
+}
+
+// RegularBases returns the base Δ-regular graphs the oracle families
+// build on: rings for Δ = 2; K_4, K_{3,3} and the prism for Δ = 3;
+// K_{Δ+1} and K_{Δ,Δ} for larger Δ.
+func RegularBases(delta, maxN int) ([]Instance, error) {
+	var out []Instance
+	add := func(name string, g *graph.Graph, err error) error {
+		if err != nil {
+			return err
+		}
+		if g.N() <= maxN {
+			out = append(out, Instance{Name: name, G: g})
+		}
+		return nil
+	}
+	switch {
+	case delta == 2:
+		for n := 3; n <= maxN; n++ {
+			g, err := graph.Ring(n)
+			if err := add("C"+strconv.Itoa(n), g, err); err != nil {
+				return nil, err
+			}
+		}
+	case delta == 3:
+		k4, err := graph.Complete(4)
+		if err := add("K4", k4, err); err != nil {
+			return nil, err
+		}
+		k33, err := graph.CompleteBipartite(3, 3)
+		if err := add("K3.3", k33, err); err != nil {
+			return nil, err
+		}
+		if err := add("prism", Prism(), nil); err != nil {
+			return nil, err
+		}
+	default:
+		kc, err := graph.Complete(delta + 1)
+		if err := add(fmt.Sprintf("K%d", delta+1), kc, err); err != nil {
+			return nil, err
+		}
+		kb, err := graph.CompleteBipartite(delta, delta)
+		if err := add(fmt.Sprintf("K%d.%d", delta, delta), kb, err); err != nil {
+			return nil, err
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("oracle: no Δ=%d base graph fits n <= %d", delta, maxN)
+	}
+	return out, nil
+}
+
+// WithShuffledPorts expands every instance with k seeded pseudo-random
+// port shufflings (the canonical numbering is kept as well);
+// byte-reproducible for a given seed.
+func WithShuffledPorts(insts []Instance, k int, seed int64) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Instance, 0, len(insts)*(k+1))
+	for _, inst := range insts {
+		out = append(out, inst)
+		for i := 0; i < k; i++ {
+			g := inst.G.Clone()
+			g.ShufflePorts(rng)
+			out = append(out, Instance{
+				Name: inst.Name + "/shuffle=" + strconv.Itoa(i),
+				G:    g,
+				In:   inst.In,
+			})
+		}
+	}
+	return out
+}
+
+// PairingComplete reports whether, for every port pair (i, j) with
+// 0 <= i <= j < Δ, some edge of some instance joins port i of one
+// endpoint to port j of the other. On pairing-complete families the
+// oracle's 0-round verdict coincides exactly with
+// core.ZeroRoundSolvableNoInput (the adversary can realize every
+// pairing).
+func PairingComplete(insts []Instance, delta int) bool {
+	need := map[[2]int]bool{}
+	for i := 0; i < delta; i++ {
+		for j := i; j < delta; j++ {
+			need[[2]int{i, j}] = true
+		}
+	}
+	for _, inst := range insts {
+		for id := 0; id < inst.G.M(); id++ {
+			_, _, pu, pv := inst.G.EdgeEndpoints(id)
+			if pu > pv {
+				pu, pv = pv, pu
+			}
+			delete(need, [2]int{pu, pv})
+		}
+		if len(need) == 0 {
+			return true
+		}
+	}
+	return len(need) == 0
+}

@@ -1,0 +1,138 @@
+// Package par is the shared parallel-execution substrate of the
+// reproduction: a dynamic work-stealing index pool, a sharded variant
+// for workers that accumulate private state, and an atomic countdown
+// budget whose semantics are identical for every worker count.
+//
+// It exists so that every enumeration hot path — the round-elimination
+// engine in internal/core, the simulator's per-node output loop in
+// internal/sim, and the brute-force solvability oracle in
+// internal/oracle — parallelizes through one pattern with one set of
+// invariants: deterministic results for every worker count, and budget
+// exhaustion meaning "total work exceeded N" no matter how the work was
+// scheduled.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerCount resolves an effective worker count for n independent work
+// items: the configured count (GOMAXPROCS when <= 0), clamped to n and
+// floored at 1.
+func WorkerCount(configured, n int) int {
+	w := configured
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunIndexed executes fn(i) for i in [0, n) across the given number of
+// workers, handing out indices through an atomic cursor (dynamic
+// work-stealing, which tolerates wildly unbalanced item costs). With
+// workers <= 1 it degrades to a plain loop with zero goroutine
+// overhead.
+func RunIndexed(workers, n int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunSharded is RunIndexed for workers that accumulate into per-worker
+// state: fn receives the worker id alongside the item index and may
+// fail. The first error (in worker order) aborts the remaining items of
+// every worker and is returned.
+func RunSharded(workers, n int, fn func(worker, i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Budget is a concurrency-safe countdown over a work cap. Sequential
+// and parallel enumeration paths share it, so the "total units spent"
+// semantics are identical for every worker count: Take succeeds exactly
+// n times in total.
+type Budget struct {
+	remaining atomic.Int64
+}
+
+// NewBudget returns a budget of n units.
+func NewBudget(n int) *Budget {
+	b := &Budget{}
+	b.remaining.Store(int64(n))
+	return b
+}
+
+// Take consumes one unit; it reports false once the budget is spent.
+func (b *Budget) Take() bool {
+	return b.remaining.Add(-1) >= 0
+}

@@ -1,0 +1,85 @@
+package par_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestWorkerCount(t *testing.T) {
+	cases := []struct{ configured, n, wantMax, wantMin int }{
+		{1, 100, 1, 1},
+		{8, 3, 3, 3},
+		{4, 100, 4, 4},
+		{-1, 0, 1, 1}, // floors at 1 even for empty work
+	}
+	for _, tc := range cases {
+		got := par.WorkerCount(tc.configured, tc.n)
+		if got < tc.wantMin || got > tc.wantMax {
+			t.Errorf("WorkerCount(%d, %d) = %d, want in [%d, %d]",
+				tc.configured, tc.n, got, tc.wantMin, tc.wantMax)
+		}
+	}
+	if got := par.WorkerCount(0, 64); got < 1 {
+		t.Errorf("GOMAXPROCS default resolved to %d", got)
+	}
+}
+
+// TestRunIndexedCoversEveryIndex: every index is visited exactly once,
+// for sequential and parallel worker counts.
+func TestRunIndexedCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		par.RunIndexed(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestRunShardedErrorAborts: an error stops the pool and is returned;
+// the sharded worker ids stay within range.
+func TestRunShardedErrorAborts(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := par.RunSharded(workers, 100, func(w, i int) error {
+			if w < 0 || w >= workers {
+				t.Fatalf("worker id %d out of range [0,%d)", w, workers)
+			}
+			if i == 17 {
+				return sentinel
+			}
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: got err %v, want sentinel", workers, err)
+		}
+		if ran.Load() >= 100 {
+			t.Fatalf("workers=%d: pool did not abort", workers)
+		}
+	}
+}
+
+// TestBudgetExactCount: Take succeeds exactly n times in total no
+// matter how many goroutines are draining it.
+func TestBudgetExactCount(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		b := par.NewBudget(500)
+		var ok atomic.Int64
+		par.RunIndexed(workers, 2000, func(i int) {
+			if b.Take() {
+				ok.Add(1)
+			}
+		})
+		if got := ok.Load(); got != 500 {
+			t.Fatalf("workers=%d: %d successful takes, want 500", workers, got)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package sim
+
+// runOptions carries tunables for Run.
+type runOptions struct {
+	workers int
+}
+
+// Option configures Run.
+type Option func(*runOptions)
+
+// WithWorkers sets the number of concurrent workers used by Run's
+// per-node output loop. n <= 0 selects runtime.GOMAXPROCS(0), the
+// default used when the option is absent is 1 (fully sequential, no
+// goroutine overhead). Outputs are byte-identical for every worker
+// count: each node's output slot and any error are keyed by node index,
+// and the first error in node order wins.
+func WithWorkers(n int) Option {
+	return func(o *runOptions) { o.workers = n }
+}
+
+func buildOptions(opts []Option) runOptions {
+	o := runOptions{workers: 1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}

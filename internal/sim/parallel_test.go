@@ -1,0 +1,134 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/problems"
+	"repro/internal/sim"
+)
+
+// solutionKey renders a solution canonically for byte-for-byte
+// comparison across worker counts.
+func solutionKey(sol *sim.Solution) string {
+	return fmt.Sprintf("%v", sol.Labels)
+}
+
+// TestParallelRunMatchesSequential mirrors internal/core's
+// parallel-vs-sequential cross-check for the simulator: on the catalog
+// algorithms, sequential sim.Run and WithWorkers(k) for k in {1,2,4,8}
+// must produce byte-identical solutions.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	type testCase struct {
+		name   string
+		g      *graph.Graph
+		in     sim.Inputs
+		alg    sim.Algorithm
+		verify *core.Problem
+	}
+	var cases []testCase
+
+	// Cole–Vishkin ring 3-coloring on an oriented ring with unique ids.
+	{
+		rng := rand.New(rand.NewSource(11))
+		g, err := graph.Ring(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orient, err := algorithms.RingOrientation(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := graph.UniqueIDs(g, 4*g.N(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, testCase{
+			name:   "ring-3-coloring",
+			g:      g,
+			in:     sim.Inputs{IDs: ids, Orientation: &orient},
+			alg:    algorithms.RingThreeColoring{IDSpace: 4 * g.N()},
+			verify: problems.KColoring(3, 2),
+		})
+	}
+
+	// Odd-degree weak 2-coloring on a random 3-regular graph.
+	{
+		rng := rand.New(rand.NewSource(12))
+		g, err := graph.RandomRegular(20, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := graph.UniqueIDs(g, 2*g.N(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, testCase{
+			name:   "weak-2-coloring",
+			g:      g,
+			in:     sim.Inputs{IDs: ids},
+			alg:    algorithms.WeakTwoColoring{IDSpace: 2 * g.N()},
+			verify: problems.WeakTwoColoringPointer(3),
+		})
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := sim.Run(tc.g, tc.in, tc.alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Verify(tc.g, seq, tc.verify); err != nil {
+				t.Fatalf("sequential solution invalid: %v", err)
+			}
+			want := solutionKey(seq)
+			for _, workers := range []int{1, 2, 4, 8} {
+				par, err := sim.Run(tc.g, tc.in, tc.alg, sim.WithWorkers(workers))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got := solutionKey(par); got != want {
+					t.Fatalf("workers=%d: output diverged from sequential", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRunDeterministicError: when the algorithm fails at
+// several nodes, every worker count reports the same (lowest-node)
+// error.
+func TestParallelRunDeterministicError(t *testing.T) {
+	g, err := graph.Ring(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("odd node")
+	alg := sim.FuncAlgorithm{
+		AlgName:  "fails-on-odd",
+		RoundsFn: func(n, delta int) int { return 0 },
+		OutputsFn: func(view *sim.View) ([]core.Label, error) {
+			return nil, sentinel
+		},
+	}
+	var want string
+	for i, workers := range []int{1, 2, 4, 8} {
+		_, err := sim.Run(g, sim.Inputs{}, alg, sim.WithWorkers(workers))
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error %v does not wrap the algorithm's", workers, err)
+		}
+		if i == 0 {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Fatalf("workers=%d: error %q, want %q", workers, err.Error(), want)
+		}
+	}
+}

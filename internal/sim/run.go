@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Algorithm is a deterministic distributed algorithm in the port numbering
@@ -32,26 +33,67 @@ func (s *Solution) LabelAt(v, port int) core.Label { return s.Labels[v][port] }
 // Run executes alg on g with the given inputs and returns the outputs. It
 // builds each node's radius-t view and applies the algorithm's output
 // function — the canonical normal form of a t-round algorithm.
-func Run(g *graph.Graph, in Inputs, alg Algorithm) (*Solution, error) {
+//
+// With WithWorkers the per-node output loop is parallelized: views are
+// built once through the memoizing builder (which is not safe for
+// concurrent use), then the algorithm's output function runs across a
+// worker pool. Results are byte-identical for every worker count.
+func Run(g *graph.Graph, in Inputs, alg Algorithm, opts ...Option) (*Solution, error) {
+	o := buildOptions(opts)
 	t := alg.Rounds(g.N(), g.MaxDegree())
 	if t < 0 {
 		return nil, fmt.Errorf("sim: algorithm %q reports negative round count %d", alg.Name(), t)
 	}
 	builder := NewViewBuilder(g, in)
 	sol := &Solution{Labels: make([][]core.Label, g.N())}
-	for v := 0; v < g.N(); v++ {
-		view := builder.View(v, t)
-		out, err := alg.Outputs(view)
-		if err != nil {
-			return nil, fmt.Errorf("sim: algorithm %q at node %d: %w", alg.Name(), v, err)
+	workers := par.WorkerCount(o.workers, g.N())
+	if workers <= 1 {
+		for v := 0; v < g.N(); v++ {
+			out, err := runNode(g, builder.View(v, t), alg, v)
+			if err != nil {
+				return nil, err
+			}
+			sol.Labels[v] = out
 		}
-		if len(out) != g.Degree(v) {
-			return nil, fmt.Errorf("sim: algorithm %q at node %d: got %d outputs, want %d",
-				alg.Name(), v, len(out), g.Degree(v))
+		return sol, nil
+	}
+	// The memoized view DAG is shared read-only across workers once all
+	// views exist; building it sequentially is O(n·t·Δ) and cheap next
+	// to the algorithms' output functions.
+	views := make([]*View, g.N())
+	for v := 0; v < g.N(); v++ {
+		views[v] = builder.View(v, t)
+	}
+	errs := make([]error, g.N())
+	par.RunIndexed(workers, g.N(), func(v int) {
+		out, err := runNode(g, views[v], alg, v)
+		if err != nil {
+			errs[v] = err
+			return
 		}
 		sol.Labels[v] = out
+	})
+	// First error in node order, so failures are deterministic too.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return sol, nil
+}
+
+// runNode applies the algorithm's output function at one node and
+// validates the output arity.
+func runNode(g *graph.Graph, view *View, alg Algorithm, v int) ([]core.Label, error) {
+	out, err := alg.Outputs(view)
+	if err != nil {
+		return nil, fmt.Errorf("sim: algorithm %q at node %d: %w", alg.Name(), v, err)
+	}
+	if len(out) != g.Degree(v) {
+		return nil, fmt.Errorf("sim: algorithm %q at node %d: got %d outputs, want %d",
+			alg.Name(), v, len(out), g.Degree(v))
+	}
+	return out, nil
 }
 
 // Verify checks a solution against a problem: every node's port multiset

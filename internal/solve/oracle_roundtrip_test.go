@@ -1,0 +1,114 @@
+package solve_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/problems"
+	"repro/internal/sim"
+	"repro/internal/solve"
+)
+
+// TestSolveMatchesOracle is the round-trip between the centralized
+// solver and the brute-force oracle: on a single instance with unique
+// identifiers and t = n rounds, every node's view is distinct, so a
+// distributed algorithm is exactly a per-node assignment and the
+// oracle's decision coincides with centralized solvability. For every
+// n <= 8 instance below, oracle says solvable ⇔ solve finds a
+// solution.
+func TestSolveMatchesOracle(t *testing.T) {
+	ring := func(n int) *graph.Graph {
+		g, err := graph.Ring(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	k4, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k33, err := graph.CompleteBipartite(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		p    *core.Problem
+	}{
+		{"2col-C4", ring(4), problems.KColoring(2, 2)},
+		{"2col-C5", ring(5), problems.KColoring(2, 2)}, // odd cycle: unsolvable
+		{"3col-C5", ring(5), problems.KColoring(3, 2)},
+		{"3col-C7", ring(7), problems.KColoring(3, 2)},
+		{"SO-C6", ring(6), problems.SinklessOrientation(2)},
+		{"2col-K4", k4, problems.KColoring(2, 3)}, // K4 is not 2-colorable
+		{"2col-K33", k33, problems.KColoring(2, 3)},
+		{"SC-K4", k4, problems.SinklessColoring(3)},
+		{"SO-K4", k4, problems.SinklessOrientation(3)},
+		{"SO-K33", k33, problems.SinklessOrientation(3)},
+		{"SC-prism", oracle.Prism(), problems.SinklessColoring(3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.g.N() > 8 {
+				t.Fatalf("instance has %d nodes; round-trip cases are capped at 8", tc.g.N())
+			}
+			sol, found, err := solve.Solve(tc.g, tc.p, solve.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if found {
+				if err := sim.Verify(tc.g, sol, tc.p); err != nil {
+					t.Fatalf("solver returned an invalid solution: %v", err)
+				}
+			}
+			insts := oracle.WithUniqueIDs([]oracle.Instance{{Name: tc.name, G: tc.g}})
+			v, err := oracle.Decide(tc.p, insts, tc.g.N())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Classes != tc.g.N() {
+				t.Fatalf("expected one view class per node (%d), got %d — ids or radius too weak", tc.g.N(), v.Classes)
+			}
+			if v.Solvable != found {
+				t.Fatalf("oracle says solvable=%v, solver found=%v", v.Solvable, found)
+			}
+		})
+	}
+}
+
+// TestSolveOracleAgreementSummary cross-checks the two deciders over a
+// small sweep of (problem, ring size) points and reports any
+// disagreement with the full point list.
+func TestSolveOracleAgreementSummary(t *testing.T) {
+	var disagreements []string
+	for n := 3; n <= 8; n++ {
+		g, err := graph.Ring(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 3; k++ {
+			p := problems.KColoring(k, 2)
+			_, found, err := solve.Solve(g, p, solve.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			insts := oracle.WithUniqueIDs([]oracle.Instance{{Name: "ring", G: g}})
+			v, err := oracle.Decide(p, insts, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Solvable != found {
+				disagreements = append(disagreements,
+					fmt.Sprintf("%d-coloring on C_%d: oracle=%v solve=%v", k, n, v.Solvable, found))
+			}
+		}
+	}
+	if len(disagreements) > 0 {
+		t.Fatalf("oracle/solve disagreements: %v", disagreements)
+	}
+}

@@ -10,7 +10,6 @@ package solve
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -64,7 +63,7 @@ func Solve(g *graph.Graph, p *core.Problem, opts Options) (*sim.Solution, bool, 
 	nodeConfigs := p.Node.Configs()
 	perms := make([][][]core.Label, len(nodeConfigs))
 	for i, cfg := range nodeConfigs {
-		perms[i] = distinctPermutations(cfg.Expand())
+		perms[i] = core.DistinctPermutations(cfg.Expand())
 	}
 
 	// Order nodes by BFS so neighbors are assigned close together.
@@ -119,39 +118,6 @@ func Solve(g *graph.Graph, p *core.Problem, opts Options) (*sim.Solution, bool, 
 	}
 	sol := &sim.Solution{Labels: assign}
 	return sol, true, nil
-}
-
-// distinctPermutations returns all distinct orderings of a multiset of
-// labels.
-func distinctPermutations(labels []core.Label) [][]core.Label {
-	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
-	var out [][]core.Label
-	cur := make([]core.Label, 0, len(labels))
-	used := make([]bool, len(labels))
-	var rec func()
-	rec = func() {
-		if len(cur) == len(labels) {
-			perm := make([]core.Label, len(cur))
-			copy(perm, cur)
-			out = append(out, perm)
-			return
-		}
-		var last core.Label = -1
-		haveLast := false
-		for i := range labels {
-			if used[i] || (haveLast && labels[i] == last) {
-				continue
-			}
-			used[i] = true
-			cur = append(cur, labels[i])
-			rec()
-			cur = cur[:len(cur)-1]
-			used[i] = false
-			last, haveLast = labels[i], true
-		}
-	}
-	rec()
-	return out
 }
 
 func bfsOrder(g *graph.Graph) []int {

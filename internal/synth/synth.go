@@ -53,7 +53,7 @@ func OneRoundOrientedSolvable(p *core.Problem) (bool, error) {
 
 	// Per-view output options: all label tuples whose multiset is a node
 	// configuration.
-	tuples := allTuples(nLabels, delta)
+	tuples := core.AllLabelTuples(nLabels, delta)
 	var nodeOK [][]core.Label
 	for _, tup := range tuples {
 		if p.Node.Contains(core.NewConfig(tup...)) {
@@ -298,23 +298,5 @@ func allBoolPatterns(n int) [][]bool {
 		}
 		out = append(out, p)
 	}
-	return out
-}
-
-func allTuples(nLabels, arity int) [][]core.Label {
-	var out [][]core.Label
-	cur := make([]core.Label, arity)
-	var rec func(pos int)
-	rec = func(pos int) {
-		if pos == arity {
-			out = append(out, append([]core.Label(nil), cur...))
-			return
-		}
-		for l := 0; l < nLabels; l++ {
-			cur[pos] = core.Label(l)
-			rec(pos + 1)
-		}
-	}
-	rec(0)
 	return out
 }
