@@ -340,6 +340,68 @@ func BenchmarkE9OracleSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkE10InternedHalfStep: the interned-representation side of the
+// E10 pair — HalfStep on superweak per Δ (the same workload the
+// string-keyed engine was measured on at the pre-refactor commit; the
+// recorded baseline numbers and the deltas live in EXPERIMENTS.md).
+// Allocation counts are part of the experiment: the interner's point is
+// fewer and smaller allocations per derived configuration.
+func BenchmarkE10InternedHalfStep(b *testing.B) {
+	for _, delta := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("superweak/delta=%d", delta), func(b *testing.B) {
+			p := problems.Superweak(2, delta)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.HalfStep(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("weak2-speedup/delta=4", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("half-second per iteration; run without -short")
+		}
+		p := problems.WeakTwoColoringPointer(4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Speedup(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11InternedFixpoint: the interned-representation side of the
+// E11 pair — full fixpoint runs (speedup + interned-fingerprint memo +
+// isomorphism confirmation) on the closing trajectories, against the
+// string-keyed baselines recorded in EXPERIMENTS.md.
+func BenchmarkE11InternedFixpoint(b *testing.B) {
+	cases := []struct {
+		name string
+		p    *core.Problem
+		want fixpoint.Kind
+	}{
+		{"sinkless-coloring/delta=3", problems.SinklessColoring(3), fixpoint.FixedPoint},
+		{"sinkless-coloring/delta=8", problems.SinklessColoring(8), fixpoint.FixedPoint},
+		{"sinkless-orientation/delta=3", problems.SinklessOrientation(3), fixpoint.FixedPoint},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := fixpoint.Run(tc.p, fixpoint.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Kind != tc.want {
+					b.Fatalf("classified %v, want %v", res.Kind, tc.want)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE5StepTable: Theorem 4 step counting.
 func BenchmarkE5StepTable(b *testing.B) {
 	heights := []int{3, 7, 12, 17, 27, 52, 102}

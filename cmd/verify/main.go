@@ -16,10 +16,16 @@
 //
 // With -conformance it instead cross-validates the oracle against the
 // speedup engine and the fixpoint driver (zero-round equivalence,
-// speedup soundness, fixpoint upper bounds) and exits non-zero if any
-// check fails:
+// speedup soundness, fixpoint upper bounds):
 //
 //	verify -problem superweak/k=2,delta=3 -conformance
+//
+// Exit codes make the outcome scriptable without parsing the JSON:
+// 0 = solvable / all conformance checks passed, 2 = decided UNSOLVABLE
+// or a conformance check failed, 1 = the decision could not be made
+// (bad flags, unknown problem, infeasible search, budget exhausted).
+// The JSON schema is documented in the README ("cmd/verify — JSON
+// schema and exit codes").
 //
 // Families (sized by -n where applicable, seeded by -seed):
 //
@@ -55,7 +61,15 @@ func main() {
 	relaxed := flag.Bool("relaxed", false, "exempt nodes of degree != Δ from the node constraint (tree families)")
 	conformance := flag.Bool("conformance", false, "run the conformance harness instead of a single decision")
 	list := flag.Bool("list", false, "list catalog problems and exit")
-	flag.Parse()
+	// The default ExitOnError handling exits 2 on bad flags, which would
+	// collide with exit 2 = "decided UNSOLVABLE"; bad flags must exit 1.
+	flag.CommandLine.Init(os.Args[0], flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, e := range problems.Catalog() {
@@ -63,10 +77,12 @@ func main() {
 		}
 		return
 	}
-	if err := run(*problem, *rounds, *maxN, *workers, *family, *seed, *relaxed, *conformance); err != nil {
+	code, err := run(*problem, *rounds, *maxN, *workers, *family, *seed, *relaxed, *conformance)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
 func lookupProblem(name string) (*core.Problem, error) {
@@ -131,13 +147,18 @@ type decision struct {
 	Verdict *oracle.Verdict `json:"verdict"`
 }
 
-func run(problemName string, rounds, maxN, workers int, family string, seed int64, relaxed, conformance bool) error {
+// exitNegative is the exit code for a completed negative outcome — a
+// decided UNSOLVABLE verdict or a failed conformance check — as opposed
+// to exit 1, which means the decision itself could not be made.
+const exitNegative = 2
+
+func run(problemName string, rounds, maxN, workers int, family string, seed int64, relaxed, conformance bool) (int, error) {
 	if problemName == "" {
-		return fmt.Errorf("-problem is required (use -list for the catalog)")
+		return 0, fmt.Errorf("-problem is required (use -list for the catalog)")
 	}
 	p, err := lookupProblem(problemName)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	opts := []oracle.Option{oracle.WithWorkers(workers)}
 	if relaxed {
@@ -149,7 +170,7 @@ func run(problemName string, rounds, maxN, workers int, family string, seed int6
 	if conformance {
 		fams, err := oracle.DefaultFamilies(p.Delta(), seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		maxT := rounds
 		if maxT < 1 {
@@ -157,26 +178,33 @@ func run(problemName string, rounds, maxN, workers int, family string, seed int6
 		}
 		rep, err := oracle.Conformance(problemName, p, fams, maxT, opts...)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := enc.Encode(rep); err != nil {
-			return err
+			return 0, err
 		}
 		if !rep.OK {
-			return fmt.Errorf("conformance checks failed for %s", problemName)
+			fmt.Fprintf(os.Stderr, "verify: conformance checks failed for %s\n", problemName)
+			return exitNegative, nil
 		}
-		return nil
+		return 0, nil
 	}
 
 	insts, err := buildFamily(family, p.Delta(), maxN, seed)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	v, err := oracle.Decide(p, insts, rounds, opts...)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return enc.Encode(decision{Problem: problemName, Family: familyLabel(family, p.Delta()), Seed: seed, Verdict: v})
+	if err := enc.Encode(decision{Problem: problemName, Family: familyLabel(family, p.Delta()), Seed: seed, Verdict: v}); err != nil {
+		return 0, err
+	}
+	if !v.Solvable {
+		return exitNegative, nil
+	}
+	return 0, nil
 }
 
 func familyLabel(name string, delta int) string {

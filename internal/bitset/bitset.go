@@ -54,6 +54,45 @@ func Full(n int) Set {
 	return s
 }
 
+// Wrap returns a set over a universe of n elements sharing the given
+// word storage without copying — the zero-allocation view used to read
+// sets back out of an interning arena. The words must already be
+// trimmed to the universe, and the caller must not invoke mutating
+// methods (Add, Remove, ...InPlace) on the returned set.
+func Wrap(n int, words []uint64) Set {
+	if len(words) != (n+wordBits-1)/wordBits {
+		panic("bitset: Wrap: word count does not match universe size")
+	}
+	return Set{n: n, words: words}
+}
+
+// Words exposes the backing words of the set (little-endian bit
+// order: bit i of the set is bit i%64 of word i/64). The returned
+// slice aliases the set and must not be modified; it is the canonical
+// word sequence handed to the interning arena.
+func (s Set) Words() []uint64 { return s.words }
+
+// Compare orders sets over the same universe by the byte-lexicographic
+// order of their little-endian encoding — the same total order the
+// legacy string Key() induced, kept so that canonical orderings (and
+// with them derived label numbering) survive the interning refactor.
+// It returns -1, 0 or +1.
+func Compare(a, b Set) int {
+	a.sameUniverse(b)
+	for i, w := range a.words {
+		if w == b.words[i] {
+			continue
+		}
+		// Byte-lex order over little-endian bytes is numeric order of
+		// the byte-reversed word.
+		if bits.ReverseBytes64(w) < bits.ReverseBytes64(b.words[i]) {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // trim clears bits beyond the universe in the last word.
 func (s *Set) trim() {
 	if len(s.words) == 0 {
@@ -138,6 +177,16 @@ func (s Set) Intersect(t Set) Set {
 		r.words[i] &= w
 	}
 	return r
+}
+
+// IntersectInto sets dst = s ∩ t without allocating; all three sets
+// must share a universe.
+func (s Set) IntersectInto(t, dst Set) {
+	s.sameUniverse(t)
+	s.sameUniverse(dst)
+	for i, w := range s.words {
+		dst.words[i] = w & t.words[i]
+	}
 }
 
 // Minus returns s \ t as a new set.

@@ -100,6 +100,8 @@ func (c Config) ForEach(fn func(l Label, count int)) {
 }
 
 // Key returns a canonical string key: equal configs have equal keys.
+// It is a debugging/display helper; the engine's hot paths identify
+// configs by interned handles of appendWords instead.
 func (c Config) Key() string {
 	var sb strings.Builder
 	for _, p := range c.pairs {
@@ -109,6 +111,46 @@ func (c Config) Key() string {
 		sb.WriteByte(',')
 	}
 	return sb.String()
+}
+
+// appendWords appends the canonical word encoding of the config — one
+// word per (label, multiplicity) pair, label in the high half — to
+// dst. Equal configs produce equal sequences, and the pair list is
+// sorted by label, so the encoding is a hash-consable identity.
+func (c Config) appendWords(dst []uint64) []uint64 {
+	for _, p := range c.pairs {
+		dst = append(dst, uint64(uint32(p.label))<<32|uint64(uint32(p.count)))
+	}
+	return dst
+}
+
+// compare orders configs by their (label, multiplicity) pair sequence
+// — the handle-stable canonical order used by Configs(). It is a total
+// order on configs of equal arity (and arbitrary configs: shorter
+// prefixes sort first).
+func (c Config) compare(d Config) int {
+	for i, p := range c.pairs {
+		if i >= len(d.pairs) {
+			return 1
+		}
+		q := d.pairs[i]
+		switch {
+		case p.label != q.label:
+			if p.label < q.label {
+				return -1
+			}
+			return 1
+		case p.count != q.count:
+			if p.count < q.count {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(c.pairs) < len(d.pairs) {
+		return -1
+	}
+	return 0
 }
 
 // Equal reports whether two configs are the same multiset.

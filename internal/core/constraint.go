@@ -3,15 +3,30 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/intern"
 )
 
 // Constraint is a set of allowed configurations of a fixed arity: the
 // paper's g(Δ) (arity 2) or h(Δ) (arity Δ).
+//
+// Configurations are identified by hash-consed handles of their packed
+// (label, multiplicity) word encoding — membership and deduplication
+// never materialize strings. Copies of a Constraint share storage, as
+// the earlier map-backed representation did.
 type Constraint struct {
 	arity int
-	set   map[string]Config
+	rep   *constraintRep
+}
+
+type constraintRep struct {
+	tab     *intern.Table
+	configs []Config // indexed by intern.Handle
+
+	mu     sync.Mutex
+	sorted []Config // canonical-order cache; nil when stale
 }
 
 // NewConstraint returns an empty constraint of the given arity.
@@ -19,21 +34,41 @@ func NewConstraint(arity int) Constraint {
 	if arity < 1 {
 		panic("core: constraint arity must be positive")
 	}
-	return Constraint{arity: arity, set: make(map[string]Config)}
+	return Constraint{arity: arity, rep: &constraintRep{tab: intern.NewTable(0)}}
 }
 
 // Arity returns the configuration arity.
 func (c Constraint) Arity() int { return c.arity }
 
 // Size returns the number of configurations.
-func (c Constraint) Size() int { return len(c.set) }
+func (c Constraint) Size() int {
+	if c.rep == nil {
+		return 0
+	}
+	return len(c.rep.configs)
+}
 
 // Add inserts a configuration; it is an error if the arity differs.
+//
+// Add is single-writer: the handle-indexed configs slice relies on
+// insertions arriving in handle order, so Add must not run concurrently
+// with itself or with readers of the same constraint. (The parallel
+// lifting paths respect this by accumulating into per-worker constraints
+// and merging sequentially.) Once building is done, concurrent readers —
+// Contains, Configs, Size — are safe; the mutex below only guards the
+// lazily built sorted cache shared by those readers.
 func (c Constraint) Add(cfg Config) error {
 	if cfg.Arity() != c.arity {
 		return fmt.Errorf("core: config arity %d does not match constraint arity %d", cfg.Arity(), c.arity)
 	}
-	c.set[cfg.Key()] = cfg
+	var buf [16]uint64
+	h := c.rep.tab.Intern(cfg.appendWords(buf[:0]))
+	if int(h) == len(c.rep.configs) {
+		c.rep.configs = append(c.rep.configs, cfg)
+		c.rep.mu.Lock()
+		c.rep.sorted = nil
+		c.rep.mu.Unlock()
+	}
 	return nil
 }
 
@@ -49,9 +84,14 @@ func (c Constraint) AddLabels(labels ...Label) error {
 	return c.Add(NewConfig(labels...))
 }
 
-// Contains reports whether the configuration is allowed.
+// Contains reports whether the configuration is allowed. It never
+// inserts, so concurrent readers are safe.
 func (c Constraint) Contains(cfg Config) bool {
-	_, ok := c.set[cfg.Key()]
+	if c.rep == nil {
+		return false
+	}
+	var buf [16]uint64
+	_, ok := c.rep.tab.Lookup(cfg.appendWords(buf[:0]))
 	return ok
 }
 
@@ -61,27 +101,29 @@ func (c Constraint) ContainsLabels(labels ...Label) bool {
 	return c.Contains(NewConfig(labels...))
 }
 
-// Configs returns all configurations in a deterministic order (sorted by
-// canonical key).
+// Configs returns all configurations in a deterministic order: the
+// handle-stable canonical sort by (label, multiplicity) sequence. The
+// order is cached until the next Add.
 func (c Constraint) Configs() []Config {
-	keys := make([]string, 0, len(c.set))
-	for k := range c.set {
-		keys = append(keys, k)
+	if c.rep == nil {
+		return nil
 	}
-	sort.Strings(keys)
-	out := make([]Config, len(keys))
-	for i, k := range keys {
-		out[i] = c.set[k]
+	c.rep.mu.Lock()
+	defer c.rep.mu.Unlock()
+	if c.rep.sorted == nil {
+		sorted := append([]Config(nil), c.rep.configs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].compare(sorted[j]) < 0 })
+		c.rep.sorted = sorted
 	}
-	return out
+	return c.rep.sorted
 }
 
 // Clone returns an independent copy.
 func (c Constraint) Clone() Constraint {
-	n := NewConstraint(c.arity)
-	for k, v := range c.set {
-		n.set[k] = v
-	}
+	n := Constraint{arity: c.arity, rep: &constraintRep{
+		tab:     c.rep.tab.Clone(),
+		configs: append([]Config(nil), c.rep.configs...),
+	}}
 	return n
 }
 
@@ -89,7 +131,10 @@ func (c Constraint) Clone() Constraint {
 // configuration, as a bitset over an alphabet of the given size.
 func (c Constraint) UsedLabels(alphabetSize int) bitset.Set {
 	s := bitset.New(alphabetSize)
-	for _, cfg := range c.set {
+	if c.rep == nil {
+		return s
+	}
+	for _, cfg := range c.rep.configs {
 		for _, p := range cfg.pairs {
 			s.Add(int(p.label))
 		}
@@ -101,7 +146,7 @@ func (c Constraint) UsedLabels(alphabetSize int) bitset.Set {
 // support lies in keep, with labels renumbered through remap.
 func (c Constraint) Restrict(keep bitset.Set, remap map[Label]Label) Constraint {
 	n := NewConstraint(c.arity)
-	for _, cfg := range c.set {
+	for _, cfg := range c.rep.configs {
 		ok := true
 		for _, p := range cfg.pairs {
 			if !keep.Contains(int(p.label)) {
@@ -116,7 +161,7 @@ func (c Constraint) Restrict(keep bitset.Set, remap map[Label]Label) Constraint 
 		if err != nil {
 			panic(fmt.Sprintf("core: restrict: %v", err))
 		}
-		n.set[mapped.Key()] = mapped
+		n.MustAdd(mapped)
 	}
 	return n
 }
@@ -125,12 +170,12 @@ func (c Constraint) Restrict(keep bitset.Set, remap map[Label]Label) Constraint 
 // configurations may collapse.
 func (c Constraint) Remap(m map[Label]Label) (Constraint, error) {
 	n := NewConstraint(c.arity)
-	for _, cfg := range c.set {
+	for _, cfg := range c.rep.configs {
 		mapped, err := cfg.Remap(m)
 		if err != nil {
 			return Constraint{}, err
 		}
-		n.set[mapped.Key()] = mapped
+		n.MustAdd(mapped)
 	}
 	return n, nil
 }
@@ -138,11 +183,14 @@ func (c Constraint) Remap(m map[Label]Label) (Constraint, error) {
 // Equal reports whether two constraints allow exactly the same
 // configurations.
 func (c Constraint) Equal(d Constraint) bool {
-	if c.arity != d.arity || len(c.set) != len(d.set) {
+	if c.arity != d.arity || c.Size() != d.Size() {
 		return false
 	}
-	for k := range c.set {
-		if _, ok := d.set[k]; !ok {
+	if c.rep == nil {
+		return true
+	}
+	for _, cfg := range c.rep.configs {
+		if !d.Contains(cfg) {
 			return false
 		}
 	}
@@ -165,7 +213,7 @@ func newEdgeRelation(g Constraint, alphabetSize int) edgeRelation {
 	for i := range r.neighbors {
 		r.neighbors[i] = bitset.New(alphabetSize)
 	}
-	for _, cfg := range g.set {
+	for _, cfg := range g.rep.configs {
 		labels := cfg.Expand()
 		y, z := labels[0], labels[1]
 		r.neighbors[y].Add(int(z))

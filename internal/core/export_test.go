@@ -5,13 +5,13 @@ package core
 // MaximalNodeSetConfigKeys runs the given enumeration strategy and returns
 // the canonical keys of the maximal set-configurations.
 func MaximalNodeSetConfigKeys(half *Problem, s Strategy, maxStates int) ([]string, error) {
-	configs, err := maximalNodeSetConfigs(half, speedupOptions{maxStates: maxStates, strategy: s})
+	configs, arena, err := maximalNodeSetConfigs(half, speedupOptions{maxStates: maxStates, strategy: s})
 	if err != nil {
 		return nil, err
 	}
 	keys := make([]string, len(configs))
 	for i, sc := range configs {
-		keys[i] = sc.key()
+		keys[i] = sc.canonicalKey(arena)
 	}
 	return keys, nil
 }
@@ -22,6 +22,7 @@ func MaximalNodeSetConfigKeys(half *Problem, s Strategy, maxStates int) ([]strin
 // canonical keys. Exponential; for tiny instances only.
 func BruteMaximalNodeSetConfigKeys(half *Problem) []string {
 	n := half.Alpha.Size()
+	arena := newSetArena(n)
 	sets := allNonEmptySubsets(n)
 	var valid []setConfig
 	enumerateMultisets(len(sets), half.Delta(), func(counts map[int]int) {
@@ -29,8 +30,8 @@ func BruteMaximalNodeSetConfigKeys(half *Problem) []string {
 		for si, c := range counts {
 			groups = append(groups, setGroup{set: sets[si], count: c})
 		}
-		sc := newSetConfig(groups)
-		if sc.allChoicesIn(half.Node, nil) {
+		sc := newSetConfig(arena, groups)
+		if sc.allChoicesIn(arena, half.Node, nil) {
 			valid = append(valid, sc)
 		}
 	})
@@ -38,13 +39,13 @@ func BruteMaximalNodeSetConfigKeys(half *Problem) []string {
 	for i, sc := range valid {
 		maximal := true
 		for j, other := range valid {
-			if i != j && sc.dominatedBy(other) && !other.dominatedBy(sc) {
+			if i != j && sc.dominatedBy(arena, other) && !other.dominatedBy(arena, sc) {
 				maximal = false
 				break
 			}
 		}
 		if maximal {
-			keys = append(keys, sc.key())
+			keys = append(keys, sc.canonicalKey(arena))
 		}
 	}
 	return dedupSorted(keys)

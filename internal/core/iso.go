@@ -2,8 +2,8 @@ package core
 
 import (
 	"sort"
-	"strconv"
-	"strings"
+
+	"repro/internal/intern"
 )
 
 // Isomorphic reports whether p and q are the same problem up to a renaming
@@ -24,8 +24,11 @@ func Isomorphic(p, q *Problem) (LabelMap, bool) {
 	}
 	n := p.Alpha.Size()
 
-	sigP := labelSignatures(p)
-	sigQ := labelSignatures(q)
+	// Signatures of both problems are interned in one shared arena, so
+	// equal handles mean equal signatures.
+	f := NewFingerprinter()
+	sigP := f.labelSignatures(p)
+	sigQ := f.labelSignatures(q)
 
 	// Candidate targets per source label: equal signatures only.
 	cand := make([][]Label, n)
@@ -121,58 +124,76 @@ func Isomorphic(p, q *Problem) (LabelMap, bool) {
 	return nil, false
 }
 
-// IsoInvariantKey returns a fingerprint that is equal for isomorphic
-// problems: description sizes plus the sorted multiset of per-label
-// signatures. It is a cheap necessary condition — distinct keys prove
-// non-isomorphism, equal keys must be confirmed with Isomorphic — which
-// makes it the right hash-bucket key for memoizing problems up to
-// renaming (as the fixpoint driver does).
-func IsoInvariantKey(p *Problem) string {
-	sig := labelSignatures(p)
-	sort.Strings(sig)
-	var sb strings.Builder
-	sb.WriteString(strconv.Itoa(p.Alpha.Size()))
-	sb.WriteByte('/')
-	sb.WriteString(strconv.Itoa(p.Delta()))
-	sb.WriteByte('/')
-	sb.WriteString(strconv.Itoa(p.Edge.Size()))
-	sb.WriteByte('/')
-	sb.WriteString(strconv.Itoa(p.Node.Size()))
-	for _, s := range sig {
-		sb.WriteByte(';')
-		sb.WriteString(s)
-	}
-	return sb.String()
+// Fingerprint identifies an iso-invariant fingerprint within one
+// Fingerprinter: two problems fingerprinted by the same Fingerprinter
+// receive equal handles iff their description sizes and per-label
+// signature multisets agree. A cheap necessary condition — distinct
+// fingerprints prove non-isomorphism, equal fingerprints must be
+// confirmed with Isomorphic — which makes it the right hash-bucket key
+// for memoizing problems up to renaming (as the fixpoint driver does).
+type Fingerprint = intern.Handle
+
+// Fingerprinter hash-conses renaming-invariant fingerprints. All
+// problems to be compared must pass through the same Fingerprinter;
+// handles from different instances are unrelated. The arenas replace
+// the engine's former string fingerprints (IsoInvariantKey) — no
+// string is materialized anywhere on the memo path.
+type Fingerprinter struct {
+	profiles *intern.Table // sorted multiplicity vectors of configurations
+	sigs     *intern.Table // per-label participation code sequences
+	fps      *intern.Table // whole-problem fingerprints
 }
 
-// labelSignatures computes a renaming-invariant fingerprint per label: the
-// sorted list of (multiplicity-profile, own-multiplicity) participations
-// in each constraint.
-func labelSignatures(p *Problem) []string {
+// NewFingerprinter returns an empty fingerprint arena.
+func NewFingerprinter() *Fingerprinter {
+	return &Fingerprinter{
+		profiles: intern.NewTable(0),
+		sigs:     intern.NewTable(0),
+		fps:      intern.NewTable(0),
+	}
+}
+
+// Fingerprint returns the interned fingerprint of p: description sizes
+// plus the sorted multiset of per-label signature handles.
+func (f *Fingerprinter) Fingerprint(p *Problem) Fingerprint {
+	sigs := f.labelSignatures(p)
+	words := make([]uint64, 0, len(sigs)+4)
+	words = append(words,
+		uint64(p.Alpha.Size()), uint64(p.Delta()),
+		uint64(p.Edge.Size()), uint64(p.Node.Size()))
+	codes := make([]uint64, len(sigs))
+	for i, h := range sigs {
+		codes[i] = uint64(h)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	return f.fps.Intern(append(words, codes...))
+}
+
+// labelSignatures computes a renaming-invariant fingerprint per label —
+// the sorted list of (constraint tag, multiplicity profile,
+// own-multiplicity) participations — interned to one handle per label.
+func (f *Fingerprinter) labelSignatures(p *Problem) []intern.Handle {
 	n := p.Alpha.Size()
-	parts := make([][]string, n)
-	collect := func(c Constraint, tag string) {
+	codes := make([][]uint64, n)
+	var profBuf []uint64
+	collect := func(c Constraint, tag uint64) {
 		for _, cfg := range c.Configs() {
 			// Profile: sorted multiplicities of the configuration.
-			mults := make([]int, 0, 4)
-			cfg.ForEach(func(_ Label, count int) { mults = append(mults, count) })
-			sort.Ints(mults)
-			profParts := make([]string, len(mults))
-			for i, m := range mults {
-				profParts[i] = strconv.Itoa(m)
-			}
-			prof := tag + strings.Join(profParts, ".")
+			profBuf = profBuf[:0]
+			cfg.ForEach(func(_ Label, count int) { profBuf = append(profBuf, uint64(count)) })
+			sort.Slice(profBuf, func(i, j int) bool { return profBuf[i] < profBuf[j] })
+			prof := f.profiles.Intern(profBuf)
 			cfg.ForEach(func(l Label, count int) {
-				parts[l] = append(parts[l], prof+"@"+strconv.Itoa(count))
+				codes[l] = append(codes[l], uint64(prof)<<32|uint64(count)<<1|tag)
 			})
 		}
 	}
-	collect(p.Edge, "e")
-	collect(p.Node, "n")
-	out := make([]string, n)
-	for i := range parts {
-		sort.Strings(parts[i])
-		out[i] = strings.Join(parts[i], "|")
+	collect(p.Edge, 0)
+	collect(p.Node, 1)
+	out := make([]intern.Handle, n)
+	for i := range codes {
+		sort.Slice(codes[i], func(a, b int) bool { return codes[i][a] < codes[i][b] })
+		out[i] = f.sigs.Intern(codes[i])
 	}
 	return out
 }

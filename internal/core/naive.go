@@ -68,6 +68,7 @@ func NaiveSecondHalfStep(half *Problem) (*Problem, error) {
 	alpha := derivedAlphabet(half.Alpha, sets)
 
 	node := NewConstraint(half.Delta())
+	arena := newSetArena(n)
 	collect := func(counts map[int]int) {
 		groups := make([]setGroup, 0, len(counts))
 		lcounts := make(map[Label]int, len(counts))
@@ -75,8 +76,8 @@ func NaiveSecondHalfStep(half *Problem) (*Problem, error) {
 			groups = append(groups, setGroup{set: sets[si], count: c})
 			lcounts[Label(si)] += c
 		}
-		sc := newSetConfig(groups)
-		if sc.allChoicesIn(half.Node, nil) {
+		sc := newSetConfig(arena, groups)
+		if sc.allChoicesIn(arena, half.Node, nil) {
 			cfg, err := NewConfigCounts(lcounts)
 			if err == nil {
 				node.MustAdd(cfg)

@@ -96,7 +96,9 @@ func (p *Problem) Compress() *Problem {
 // RenameCompact returns an equivalent problem whose labels carry short
 // fresh names (A, B, ...), in the canonical order of the old names, along
 // with the mapping from new names to old names. Useful after a speedup
-// step, whose derived names are nested set expressions.
+// step, whose derived names are nested set expressions. Names are part
+// of the String/Parse boundary and stay strings; the constraint remaps
+// underneath run on the interned (handle-keyed) representation.
 func (p *Problem) RenameCompact() (*Problem, map[string]string) {
 	order := sortedLabels(p.Alpha)
 	fresh := compactNames(len(order))

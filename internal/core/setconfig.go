@@ -3,74 +3,139 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/intern"
 )
 
-// setConfig is a multiset of label sets (the candidate node configurations
-// of the derived problem Π'_1): groups are sorted by set key and hold
-// multiplicities, mirroring Config but with set-valued entries.
-type setConfig struct {
-	groups []setGroup
+// setArena is the hash-consed store backing one enumeration of maximal
+// set-configurations: label sets and whole configurations intern to
+// dense handles, so dedup maps, visited sets and memo keys are
+// handle-indexed and never materialize strings.
+//
+// Handle values depend on interleaving when workers intern
+// concurrently; every ordering decision therefore goes through set
+// content (bitset.Compare), which keeps outputs byte-identical across
+// runs and worker counts.
+type setArena struct {
+	n    int           // universe (alphabet size of the half problem)
+	sets *intern.Table // label-set words
+	ids  *intern.Table // packed group sequences: setConfig identities
+	memo *intern.Table // packed group sequences + label: extension-memo keys
 }
 
+func newSetArena(n int) *setArena {
+	return &setArena{
+		n:    n,
+		sets: intern.NewTable(0),
+		ids:  intern.NewTable(0),
+		memo: intern.NewTable(0),
+	}
+}
+
+// intern hash-conses a label set.
+func (a *setArena) intern(s bitset.Set) intern.Handle {
+	return a.sets.Intern(s.Words())
+}
+
+// view returns the set of a handle as a zero-copy read-only bitset.
+func (a *setArena) view(h intern.Handle) bitset.Set {
+	return bitset.Wrap(a.n, a.sets.Seq(h))
+}
+
+// setConfig is a multiset of label sets (the candidate node
+// configurations of the derived problem Π'_1): groups reference
+// arena-interned sets, hold multiplicities, and are kept in canonical
+// set-content order.
+type setConfig struct {
+	groups []scGroup
+}
+
+// scGroup is one interned group of a setConfig.
+type scGroup struct {
+	set   intern.Handle
+	count int
+}
+
+// setGroup is the raw construction-time form of a group (a materialized
+// set plus multiplicity), used by the builders, the naive reference
+// implementations and the tests.
 type setGroup struct {
 	set   bitset.Set
 	count int
 }
 
-// newSetConfig normalizes groups: merges equal sets and sorts by key.
-func newSetConfig(groups []setGroup) setConfig {
-	merged := map[string]setGroup{}
+// newSetConfig interns raw groups and normalizes: merges equal sets and
+// sorts by set content.
+func newSetConfig(a *setArena, groups []setGroup) setConfig {
+	interned := make([]scGroup, 0, len(groups))
 	for _, g := range groups {
 		if g.count == 0 {
 			continue
 		}
-		k := g.set.Key()
-		if prev, ok := merged[k]; ok {
-			prev.count += g.count
-			merged[k] = prev
-		} else {
-			merged[k] = setGroup{set: g.set, count: g.count}
+		interned = append(interned, scGroup{set: a.intern(g.set), count: g.count})
+	}
+	return canonicalize(a, interned)
+}
+
+// canonicalize merges groups with equal handles and sorts groups by set
+// content (content order, not handle order, so the result is identical
+// for every interning interleaving).
+func canonicalize(a *setArena, groups []scGroup) setConfig {
+	sort.Slice(groups, func(i, j int) bool {
+		return bitset.Compare(a.view(groups[i].set), a.view(groups[j].set)) < 0
+	})
+	out := groups[:0]
+	for _, g := range groups {
+		if n := len(out); n > 0 && out[n-1].set == g.set {
+			out[n-1].count += g.count
+			continue
 		}
-	}
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]setGroup, len(keys))
-	for i, k := range keys {
-		out[i] = merged[k]
+		out = append(out, g)
 	}
 	return setConfig{groups: out}
 }
 
 // singletonSetConfig converts an ordinary configuration into a set-config
 // of singleton sets over an alphabet of the given size.
-func singletonSetConfig(cfg Config, alphabetSize int) setConfig {
+func singletonSetConfig(a *setArena, cfg Config) setConfig {
 	groups := make([]setGroup, 0, 4)
 	cfg.ForEach(func(l Label, count int) {
-		s := bitset.New(alphabetSize)
+		s := bitset.New(a.n)
 		s.Add(int(l))
 		groups = append(groups, setGroup{set: s, count: count})
 	})
-	return newSetConfig(groups)
+	return newSetConfig(a, groups)
 }
 
-// key returns a canonical identity string.
-func (sc setConfig) key() string {
-	var sb strings.Builder
-	for _, g := range sc.groups {
-		sb.WriteString(g.set.Key())
-		sb.WriteByte('#')
-		sb.WriteString(strconv.Itoa(g.count))
-		sb.WriteByte('|')
+// appendGroupWords appends the packed encoding of the groups — one word
+// per group, set handle in the high half — to dst. Groups are in
+// canonical order, so the encoding identifies the configuration within
+// one arena.
+func appendGroupWords(groups []scGroup, dst []uint64) []uint64 {
+	for _, g := range groups {
+		dst = append(dst, uint64(g.set)<<32|uint64(uint32(g.count)))
 	}
-	return sb.String()
+	return dst
+}
+
+// id hash-conses the configuration's identity.
+func (sc setConfig) id(a *setArena) intern.Handle {
+	var buf [16]uint64
+	return a.ids.Intern(appendGroupWords(sc.groups, buf[:0]))
+}
+
+// canonicalKey renders the legacy canonical identity string (set key,
+// '#', multiplicity, '|'); groups are already in content order, so the
+// rendering is comparable across arenas. Test-only cross-validation
+// boundary — the engine itself never builds it.
+func (sc setConfig) canonicalKey(a *setArena) string {
+	out := ""
+	for _, g := range sc.groups {
+		out += a.view(g.set).Key() + "#" + fmt.Sprint(g.count) + "|"
+	}
+	return out
 }
 
 // arity returns the total slot count.
@@ -84,30 +149,31 @@ func (sc setConfig) arity() int {
 
 // withLabelAdded returns the set-config obtained by adding label l to one
 // copy of group gi (splitting the group if its multiplicity exceeds 1).
-func (sc setConfig) withLabelAdded(gi int, l Label) setConfig {
-	groups := make([]setGroup, 0, len(sc.groups)+1)
+func (sc setConfig) withLabelAdded(a *setArena, gi int, l Label) setConfig {
+	groups := make([]scGroup, 0, len(sc.groups)+1)
 	for i, g := range sc.groups {
 		if i != gi {
 			groups = append(groups, g)
 			continue
 		}
 		if g.count > 1 {
-			groups = append(groups, setGroup{set: g.set, count: g.count - 1})
+			groups = append(groups, scGroup{set: g.set, count: g.count - 1})
 		}
-		ext := g.set.Clone()
+		ext := a.view(g.set).Clone()
 		ext.Add(int(l))
-		groups = append(groups, setGroup{set: ext, count: 1})
+		groups = append(groups, scGroup{set: a.intern(ext), count: 1})
 	}
-	return newSetConfig(groups)
+	return canonicalize(a, groups)
 }
 
 // withoutOneOf returns the set-config with one copy of group gi removed.
+// Group order (hence canonicality) is preserved.
 func (sc setConfig) withoutOneOf(gi int) setConfig {
-	groups := make([]setGroup, 0, len(sc.groups))
+	groups := make([]scGroup, 0, len(sc.groups))
 	for i, g := range sc.groups {
 		if i == gi {
 			if g.count > 1 {
-				groups = append(groups, setGroup{set: g.set, count: g.count - 1})
+				groups = append(groups, scGroup{set: g.set, count: g.count - 1})
 			}
 			continue
 		}
@@ -116,12 +182,39 @@ func (sc setConfig) withoutOneOf(gi int) setConfig {
 	return setConfig{groups: groups}
 }
 
+// compare orders set-configs by content: group-wise set content, then
+// multiplicity, then group count. A total order independent of handle
+// numbering, used to emit enumeration results deterministically.
+func (sc setConfig) compare(a *setArena, other setConfig) int {
+	for i, g := range sc.groups {
+		if i >= len(other.groups) {
+			return 1
+		}
+		o := other.groups[i]
+		if g.set != o.set {
+			if c := bitset.Compare(a.view(g.set), a.view(o.set)); c != 0 {
+				return c
+			}
+		}
+		if g.count != o.count {
+			if g.count < o.count {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(sc.groups) < len(other.groups) {
+		return -1
+	}
+	return 0
+}
+
 // allChoicesIn reports whether every choice multiset (pick one element per
 // slot) together with the labels in extra belongs to h. It enumerates
 // choice multisets group-wise (combinations with repetition), which keeps
 // the work polynomial in the number of distinct choice multisets rather
 // than exponential in the arity.
-func (sc setConfig) allChoicesIn(h Constraint, extra []Label) bool {
+func (sc setConfig) allChoicesIn(a *setArena, h Constraint, extra []Label) bool {
 	counts := make(map[Label]int, 8)
 	for _, l := range extra {
 		counts[l]++
@@ -136,7 +229,7 @@ func (sc setConfig) allChoicesIn(h Constraint, extra []Label) bool {
 			return h.Contains(c)
 		}
 		g := sc.groups[gi]
-		members := g.set.Indices()
+		members := a.view(g.set).Indices()
 		var choose func(start, remaining int) bool
 		choose = func(start, remaining int) bool {
 			if remaining == 0 {
@@ -193,15 +286,16 @@ type scItem struct {
 	total       int        // sum of entry sizes
 }
 
-func newSCItem(sc setConfig, alphabetSize int) scItem {
-	it := scItem{sc: sc, union: bitset.New(alphabetSize)}
+func newSCItem(a *setArena, sc setConfig) scItem {
+	it := scItem{sc: sc, union: bitset.New(a.n)}
 	for _, g := range sc.groups {
-		sz := g.set.Count()
+		s := a.view(g.set)
+		sz := s.Count()
 		for c := 0; c < g.count; c++ {
 			it.sortedSizes = append(it.sortedSizes, sz)
 			it.total += sz
 		}
-		it.union.UnionInPlace(g.set)
+		it.union.UnionInPlace(s)
 	}
 	sort.Ints(it.sortedSizes)
 	return it
@@ -209,7 +303,7 @@ func newSCItem(sc setConfig, alphabetSize int) scItem {
 
 // dominatedBy reports whether a ⊑ b, using the cached invariants as
 // necessary-condition prefilters before the bipartite matching test.
-func (a scItem) dominatedBy(b scItem) bool {
+func (a scItem) dominatedBy(arena *setArena, b scItem) bool {
 	if a.total > b.total || len(a.sortedSizes) != len(b.sortedSizes) {
 		return false
 	}
@@ -223,11 +317,13 @@ func (a scItem) dominatedBy(b scItem) bool {
 	if !a.union.SubsetOf(b.union) {
 		return false
 	}
-	return a.sc.dominatedBy(b.sc)
+	return a.sc.dominatedBy(arena, b.sc)
 }
 
-// maximalNodeSetConfigs dispatches to the configured enumeration strategy.
-func maximalNodeSetConfigs(half *Problem, o speedupOptions) ([]setConfig, error) {
+// maximalNodeSetConfigs dispatches to the configured enumeration
+// strategy; the returned arena resolves the handles of the returned
+// configurations.
+func maximalNodeSetConfigs(half *Problem, o speedupOptions) ([]setConfig, *setArena, error) {
 	switch o.strategy {
 	case StrategyCombine:
 		return maximalNodeSetConfigsCombine(half, o.maxStates)
@@ -235,6 +331,16 @@ func maximalNodeSetConfigs(half *Problem, o speedupOptions) ([]setConfig, error)
 		return maximalNodeSetConfigsExplore(half, o)
 	}
 }
+
+// sortedByContent returns the configurations in canonical content order.
+func sortedByContent(a *setArena, configs []setConfig) []setConfig {
+	sort.Slice(configs, func(i, j int) bool { return configs[i].compare(a, configs[j]) < 0 })
+	return configs
+}
+
+// memoSentinel marks the label word terminating an extension-memo key,
+// keeping label words disjoint from packed group words.
+const memoSentinel = uint64(1) << 63
 
 // maximalNodeSetConfigsExplore enumerates maximal valid set-configurations
 // by upward exploration: starting from the configurations of half.Node (as
@@ -258,22 +364,29 @@ func maximalNodeSetConfigs(half *Problem, o speedupOptions) ([]setConfig, error)
 // maximal subset, and the sorted output are all schedule-independent,
 // every worker count produces byte-identical results, including the
 // budget-exceeded failure point.
-func maximalNodeSetConfigsExplore(half *Problem, o speedupOptions) ([]setConfig, error) {
+func maximalNodeSetConfigsExplore(half *Problem, o speedupOptions) ([]setConfig, *setArena, error) {
 	n := half.Alpha.Size()
 	if half.Delta() > 255 {
-		return nil, fmt.Errorf("core: second half step: Δ=%d exceeds the supported 255", half.Delta())
+		return nil, nil, fmt.Errorf("core: second half step: Δ=%d exceeds the supported 255", half.Delta())
 	}
+	arena := newSetArena(n)
 	valid := newFastNodeSet(half)
 	maxStates := o.maxStates
 
-	visited := map[string]bool{}
-	maximal := map[string]setConfig{}
+	// visited/maximal are dense over the identity arena; handle values
+	// may be assigned racily during parallel expansion, but membership
+	// and the budget count only depend on the set of identities, which
+	// is schedule-independent.
+	var visited boolByHandle
+	visitedCount := 0
+	var maximal []setConfig
 	var frontier []setConfig
 	for _, cfg := range half.Node.Configs() {
-		sc := singletonSetConfig(cfg, n)
-		k := sc.key()
-		if !visited[k] {
-			visited[k] = true
+		sc := singletonSetConfig(arena, cfg)
+		id := sc.id(arena)
+		if !visited.get(id) {
+			visited.set(id)
+			visitedCount++
 			frontier = append(frontier, sc)
 		}
 	}
@@ -284,8 +397,8 @@ func maximalNodeSetConfigsExplore(half *Problem, o speedupOptions) ([]setConfig,
 	// the cache stays coherent.
 	var extMemo sync.Map
 	type candidate struct {
-		sc  setConfig
-		key string
+		sc setConfig
+		id intern.Handle
 	}
 	type expansion struct {
 		extended bool
@@ -297,51 +410,58 @@ func maximalNodeSetConfigsExplore(half *Problem, o speedupOptions) ([]setConfig,
 		runIndexed(workers, len(frontier), func(i int) {
 			sc := frontier[i]
 			var ex expansion
+			var keyBuf []uint64
 			for gi := range sc.groups {
 				g := sc.groups[gi]
+				gset := arena.view(g.set)
 				reduced := sc.withoutOneOf(gi)
-				reducedKey := reduced.key()
+				// One memo key buffer per (state, slot): the group
+				// prefix stays, only the trailing label word varies.
+				keyBuf = appendGroupWords(reduced.groups, keyBuf[:0])
+				keyBuf = append(keyBuf, 0)
 				for l := 0; l < n; l++ {
-					if g.set.Contains(l) {
+					if gset.Contains(l) {
 						continue
 					}
 					// Adding l to one copy of group gi introduces exactly
 					// the choices where that copy picks l; all other
 					// choices are choices of sc and already valid.
-					memoKey := reducedKey + "+" + strconv.Itoa(l)
+					keyBuf[len(keyBuf)-1] = memoSentinel | uint64(l)
+					memoKey := arena.memo.Intern(keyBuf)
 					var ok bool
 					if v, seen := extMemo.Load(memoKey); seen {
 						ok = v.(bool)
 					} else {
-						ok = valid.allChoices(reduced.groups, Label(l))
+						ok = valid.allChoices(arena, reduced.groups, Label(l))
 						extMemo.Store(memoKey, ok)
 					}
 					if !ok {
 						continue
 					}
 					ex.extended = true
-					next := sc.withLabelAdded(gi, Label(l))
-					ex.next = append(ex.next, candidate{sc: next, key: next.key()})
+					next := sc.withLabelAdded(arena, gi, Label(l))
+					ex.next = append(ex.next, candidate{sc: next, id: next.id(arena)})
 				}
 			}
 			results[i] = ex
 		})
 
 		// Sequential merge, in frontier order: dedupe against the global
-		// visited set and enforce the budget. Keys were computed in the
-		// parallel phase, so this is map traffic only.
+		// visited set and enforce the budget. Identities were interned in
+		// the parallel phase, so this is dense bitmap traffic only.
 		next := frontier[:0:0]
 		for i, sc := range frontier {
 			if !results[i].extended {
-				maximal[sc.key()] = sc
+				maximal = append(maximal, sc)
 				continue
 			}
 			for _, cand := range results[i].next {
-				if !visited[cand.key] {
-					if len(visited) >= maxStates {
-						return nil, fmt.Errorf("core: second half step: exceeded state budget of %d set-configurations: %w", maxStates, ErrStateBudget)
+				if !visited.get(cand.id) {
+					if visitedCount >= maxStates {
+						return nil, nil, fmt.Errorf("core: second half step: exceeded state budget of %d set-configurations: %w", maxStates, ErrStateBudget)
 					}
-					visited[cand.key] = true
+					visited.set(cand.id)
+					visitedCount++
 					next = append(next, cand.sc)
 				}
 			}
@@ -349,48 +469,68 @@ func maximalNodeSetConfigsExplore(half *Problem, o speedupOptions) ([]setConfig,
 		frontier = next
 	}
 
-	keys := make([]string, 0, len(maximal))
-	for k := range maximal {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]setConfig, len(keys))
-	for i, k := range keys {
-		out[i] = maximal[k]
-	}
-	return out, nil
+	return sortedByContent(arena, maximal), arena, nil
 }
 
-// fastNodeSet is a multiplicity-vector index of a node constraint for fast
-// "is this choice multiset allowed" queries during enumeration.
+// boolByHandle is a growable dense bitmap indexed by intern handles.
+type boolByHandle []bool
+
+func (b boolByHandle) get(h intern.Handle) bool {
+	return int(h) < len(b) && b[h]
+}
+
+func (b *boolByHandle) set(h intern.Handle) {
+	for int(h) >= len(*b) {
+		*b = append(*b, false)
+	}
+	(*b)[h] = true
+}
+
+// fastNodeSet indexes a node constraint for fast "is this choice
+// multiset allowed" queries during enumeration: multiplicity vectors
+// are packed eight byte-lanes per word (multiplicities are ≤ Δ ≤ 255)
+// and membership is an arena probe — no per-leaf allocation.
 type fastNodeSet struct {
-	m   int
-	set map[string]bool
+	m     int // alphabet size
+	words int // packed words per vector
+	tab   *intern.Table
 }
 
 func newFastNodeSet(p *Problem) fastNodeSet {
-	f := fastNodeSet{m: p.Alpha.Size(), set: make(map[string]bool, p.Node.Size())}
+	f := fastNodeSet{m: p.Alpha.Size(), words: (p.Alpha.Size() + 7) / 8}
+	f.tab = intern.NewTable(p.Node.Size())
+	packed := make([]uint64, f.words)
 	for _, cfg := range p.Node.Configs() {
-		counts := make([]byte, f.m)
-		cfg.ForEach(func(l Label, c int) { counts[l] = byte(c) })
-		f.set[string(counts)] = true
+		for i := range packed {
+			packed[i] = 0
+		}
+		cfg.ForEach(func(l Label, c int) { packed[int(l)/8] |= uint64(uint8(c)) << (8 * (uint(l) % 8)) })
+		f.tab.Intern(packed)
 	}
 	return f
 }
 
+// lane returns the packed-word increment for one occurrence of label l.
+func (f fastNodeSet) lane(l Label) (int, uint64) {
+	return int(l) / 8, uint64(1) << (8 * (uint(l) % 8))
+}
+
 // allChoices reports whether every choice multiset from groups, plus one
-// occurrence of extra, is an allowed configuration.
-func (f fastNodeSet) allChoices(groups []setGroup, extra Label) bool {
-	counts := make([]byte, f.m)
-	counts[extra]++
+// occurrence of extra, is an allowed configuration. Read-only on the
+// arena, so concurrent workers share it freely.
+func (f fastNodeSet) allChoices(a *setArena, groups []scGroup, extra Label) bool {
+	counts := make([]uint64, f.words)
+	w, inc := f.lane(extra)
+	counts[w] += inc
 	members := make([][]int, len(groups))
 	for i, g := range groups {
-		members[i] = g.set.Indices()
+		members[i] = a.view(g.set).Indices()
 	}
 	var rec func(gi int) bool
 	rec = func(gi int) bool {
 		if gi == len(groups) {
-			return f.set[string(counts)]
+			_, ok := f.tab.Lookup(counts)
+			return ok
 		}
 		g := groups[gi]
 		var choose func(start, remaining int) bool
@@ -399,10 +539,10 @@ func (f fastNodeSet) allChoices(groups []setGroup, extra Label) bool {
 				return rec(gi + 1)
 			}
 			for i := start; i < len(members[gi]); i++ {
-				l := members[gi][i]
-				counts[l]++
+				w, inc := f.lane(Label(members[gi][i]))
+				counts[w] += inc
 				ok := choose(i, remaining-1)
-				counts[l]--
+				counts[w] -= inc
 				if !ok {
 					return false
 				}
@@ -418,28 +558,29 @@ func (f fastNodeSet) allChoices(groups []setGroup, extra Label) bool {
 // via closure under the combine operation with antichain pruning; see the
 // package documentation of combineAll. Better suited than exploration when
 // the space of valid configurations is huge but the antichain is small.
-func maximalNodeSetConfigsCombine(half *Problem, maxStates int) ([]setConfig, error) {
+func maximalNodeSetConfigsCombine(half *Problem, maxStates int) ([]setConfig, *setArena, error) {
 	n := half.Alpha.Size()
+	arena := newSetArena(n)
 
 	var items []scItem
 	var alive []bool
-	seen := map[string]bool{}
+	var seen boolByHandle
 
 	insert := func(sc setConfig) error {
-		k := sc.key()
-		if seen[k] {
+		id := sc.id(arena)
+		if seen.get(id) {
 			// Already processed; if it was killed, its dominator covers it.
 			return nil
 		}
-		seen[k] = true
-		it := newSCItem(sc, n)
+		seen.set(id)
+		it := newSCItem(arena, sc)
 		for i := range items {
-			if alive[i] && it.dominatedBy(items[i]) {
+			if alive[i] && it.dominatedBy(arena, items[i]) {
 				return nil
 			}
 		}
 		for i := range items {
-			if alive[i] && items[i].dominatedBy(it) {
+			if alive[i] && items[i].dominatedBy(arena, it) {
 				alive[i] = false
 			}
 		}
@@ -452,8 +593,8 @@ func maximalNodeSetConfigsCombine(half *Problem, maxStates int) ([]setConfig, er
 	}
 
 	for _, cfg := range half.Node.Configs() {
-		if err := insert(singletonSetConfig(cfg, n)); err != nil {
-			return nil, err
+		if err := insert(singletonSetConfig(arena, cfg)); err != nil {
+			return nil, nil, err
 		}
 	}
 
@@ -466,34 +607,25 @@ func maximalNodeSetConfigsCombine(half *Problem, maxStates int) ([]setConfig, er
 				continue
 			}
 			var combineErr error
-			combineAll(items[i].sc, items[j].sc, func(c setConfig) bool {
+			combineAll(arena, items[i].sc, items[j].sc, func(c setConfig) bool {
 				if combineErr == nil {
 					combineErr = insert(c)
 				}
 				return combineErr == nil
 			})
 			if combineErr != nil {
-				return nil, combineErr
+				return nil, nil, combineErr
 			}
 		}
 	}
 
-	maximal := map[string]setConfig{}
+	var maximal []setConfig
 	for i, it := range items {
 		if alive[i] {
-			maximal[it.sc.key()] = it.sc
+			maximal = append(maximal, it.sc)
 		}
 	}
-	keys := make([]string, 0, len(maximal))
-	for k := range maximal {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]setConfig, len(keys))
-	for i, k := range keys {
-		out[i] = maximal[k]
-	}
-	return out, nil
+	return sortedByContent(arena, maximal), arena, nil
 }
 
 // combineAll enumerates the results of combining set-configs a and b under
@@ -502,17 +634,25 @@ func maximalNodeSetConfigsCombine(half *Problem, maxStates int) ([]setConfig, er
 // contingency tables between the group multiplicities, which collapses the
 // factorially many slot matchings to their distinct outcomes. emit returns
 // false to stop early.
-func combineAll(a, b setConfig, emit func(setConfig) bool) {
+func combineAll(arena *setArena, a, b setConfig, emit func(setConfig) bool) {
 	ra, rb := len(a.groups), len(b.groups)
 	if ra == 0 || rb == 0 {
 		return
+	}
+	aSets := make([]bitset.Set, ra)
+	for i := range aSets {
+		aSets[i] = arena.view(a.groups[i].set)
+	}
+	bSets := make([]bitset.Set, rb)
+	for j := range bSets {
+		bSets[j] = arena.view(b.groups[j].set)
 	}
 	// inter[i][j] caches A_i ∩ B_j.
 	inter := make([][]bitset.Set, ra)
 	for i := range inter {
 		inter[i] = make([]bitset.Set, rb)
 		for j := range inter[i] {
-			inter[i][j] = a.groups[i].set.Intersect(b.groups[j].set)
+			inter[i][j] = aSets[i].Intersect(bSets[j])
 		}
 	}
 
@@ -560,19 +700,19 @@ func combineAll(a, b setConfig, emit func(setConfig) bool) {
 					}
 				}
 			}
-			groups = append(groups, setGroup{set: a.groups[ui].set.Union(b.groups[uj].set), count: 1})
+			groups = append(groups, setGroup{set: aSets[ui].Union(bSets[uj]), count: 1})
 			return groups
 		}
 		if emptyCount == 1 {
 			// The union must replace the single empty slot.
-			return emit(newSetConfig(buildGroups(emptyI, emptyJ)))
+			return emit(newSetConfig(arena, buildGroups(emptyI, emptyJ)))
 		}
 		for i := 0; i < ra; i++ {
 			for j := 0; j < rb; j++ {
 				if table[i][j] == 0 {
 					continue
 				}
-				if !emit(newSetConfig(buildGroups(i, j))) {
+				if !emit(newSetConfig(arena, buildGroups(i, j))) {
 					return false
 				}
 			}
@@ -647,17 +787,17 @@ func combineAll(a, b setConfig, emit func(setConfig) bool) {
 // dominatedBy reports whether sc is entrywise dominated by other: there is
 // a matching between slots such that each set of sc is a subset of its
 // partner in other. Used by reference implementations and tests.
-func (sc setConfig) dominatedBy(other setConfig) bool {
+func (sc setConfig) dominatedBy(a *setArena, other setConfig) bool {
 	if sc.arity() != other.arity() {
 		return false
 	}
 	// Bipartite matching between expanded slots with the subset relation.
-	left := sc.expand()
-	right := other.expand()
+	left := sc.expand(a)
+	right := other.expand(a)
 	adj := make([][]int, len(left))
-	for i, a := range left {
-		for j, b := range right {
-			if a.SubsetOf(b) {
+	for i, x := range left {
+		for j, y := range right {
+			if x.SubsetOf(y) {
 				adj[i] = append(adj[i], j)
 			}
 		}
@@ -690,11 +830,12 @@ func (sc setConfig) dominatedBy(other setConfig) bool {
 }
 
 // expand returns the slots of the set-config as a flat slice of sets.
-func (sc setConfig) expand() []bitset.Set {
+func (sc setConfig) expand(a *setArena) []bitset.Set {
 	out := make([]bitset.Set, 0, sc.arity())
 	for _, g := range sc.groups {
+		s := a.view(g.set)
 		for i := 0; i < g.count; i++ {
-			out = append(out, g.set)
+			out = append(out, s)
 		}
 	}
 	return out

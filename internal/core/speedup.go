@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/intern"
 	"repro/internal/par"
 )
 
@@ -98,12 +99,14 @@ func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
 	n := p.Alpha.Size()
 	rel := newEdgeRelation(p.Edge, n)
 
-	// New alphabet: the closed sets, already deduplicated and sorted by
-	// canonical key by closedSets.
+	// New alphabet: the closed sets, already deduplicated and sorted
+	// canonically by closedSets. Interning them in sorted order makes
+	// handle i the derived label i, so the comp lookup below is a plain
+	// arena probe instead of a string-keyed map.
 	sets := closedSets(rel, n)
-	indexOf := make(map[string]Label, len(sets))
-	for i, s := range sets {
-		indexOf[s.Key()] = Label(i)
+	indexOf := intern.NewTable(len(sets))
+	for _, s := range sets {
+		indexOf.Intern(s.Words())
 	}
 	alpha := derivedAlphabet(p.Alpha, sets)
 
@@ -111,12 +114,12 @@ func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
 	edge := NewConstraint(2)
 	for i, s := range sets {
 		partner := rel.comp(s)
-		j, ok := indexOf[partner.Key()]
+		j, ok := indexOf.Lookup(partner.Words())
 		if !ok {
 			// comp of a closed set is closed, so it must be present.
 			return nil, fmt.Errorf("core: half step: comp image not closed (internal error)")
 		}
-		edge.MustAdd(NewConfig(Label(i), j))
+		edge.MustAdd(NewConfig(Label(i), Label(j)))
 	}
 
 	// Node constraint: lift every h-configuration through all coverings.
@@ -168,33 +171,39 @@ func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
 }
 
 // closedSets returns all intersections of per-label compatibility sets,
-// including the full set (the empty intersection), sorted by canonical
-// key so derived label numbering is identical across runs.
+// including the full set (the empty intersection), sorted canonically
+// (bitset.Compare preserves the legacy key order) so derived label
+// numbering is identical across runs.
+//
+// The accumulator is a hash-consed arena pre-sized from rel.neighbors:
+// each round intersects the new neighbor set with the sets collected so
+// far, and intersections that are already present are skipped before
+// any append — the arena probe is the membership test — instead of
+// being re-inserted (the old map rebuilt and re-keyed every
+// intersection, a quadratic waste once the closure stabilizes).
 func closedSets(rel edgeRelation, n int) []bitset.Set {
-	acc := map[string]bitset.Set{}
-	full := bitset.Full(n)
-	acc[full.Key()] = full
+	acc := intern.NewTable(2*n + 2)
+	sets := make([]bitset.Set, 0, n+1)
+	sets = append(sets, bitset.Full(n))
+	acc.Intern(sets[0].Words())
+	scratch := bitset.New(n)
 	for z := 0; z < n; z++ {
 		nb := rel.neighbors[z]
-		// Intersect nb with everything collected so far.
-		add := make([]bitset.Set, 0, len(acc))
-		for _, s := range acc {
-			add = append(add, s.Intersect(nb))
+		// Intersect nb with everything collected so far (the snapshot
+		// suffices: sets added this round are already intersected with
+		// nb, so re-intersecting them is a no-op).
+		for i, m := 0, len(sets); i < m; i++ {
+			sets[i].IntersectInto(nb, scratch)
+			if _, ok := acc.Lookup(scratch.Words()); ok {
+				continue
+			}
+			s := scratch.Clone()
+			acc.Intern(s.Words())
+			sets = append(sets, s)
 		}
-		for _, s := range add {
-			acc[s.Key()] = s
-		}
 	}
-	keys := make([]string, 0, len(acc))
-	for k := range acc {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]bitset.Set, len(keys))
-	for i, k := range keys {
-		out[i] = acc[k]
-	}
-	return out
+	sort.Slice(sets, func(i, j int) bool { return bitset.Compare(sets[i], sets[j]) < 0 })
+	return sets
 }
 
 // liftConfig enumerates all multisets of new labels covering cfg: every
@@ -268,29 +277,33 @@ func liftConfig(cfg Config, candidates [][]Label, dst Constraint, budget *stateB
 // Π'_{1/2} (Property 3).
 func SecondHalfStep(half *Problem, opts ...Option) (*Problem, error) {
 	o := buildOptions(opts)
-	maximal, err := maximalNodeSetConfigs(half, o)
+	maximal, arena, err := maximalNodeSetConfigs(half, o)
 	if err != nil {
 		return nil, err
 	}
 
-	// New alphabet: the distinct sets appearing in maximal configurations.
-	byKey := map[string]bitset.Set{}
-	keys := []string{}
+	// New alphabet: the distinct sets appearing in maximal
+	// configurations. Groups carry arena handles, so collecting the
+	// distinct sets is a dense membership scan; only the final
+	// numbering sorts, by set content (the legacy key order).
+	present := make([]bool, arena.sets.Len())
+	handles := []intern.Handle{}
 	for _, sc := range maximal {
 		for _, g := range sc.groups {
-			k := g.set.Key()
-			if _, ok := byKey[k]; !ok {
-				byKey[k] = g.set
-				keys = append(keys, k)
+			if !present[g.set] {
+				present[g.set] = true
+				handles = append(handles, g.set)
 			}
 		}
 	}
-	sort.Strings(keys)
-	sets := make([]bitset.Set, len(keys))
-	indexOf := make(map[string]Label, len(keys))
-	for i, k := range keys {
-		sets[i] = byKey[k]
-		indexOf[k] = Label(i)
+	sort.Slice(handles, func(i, j int) bool {
+		return bitset.Compare(arena.view(handles[i]), arena.view(handles[j])) < 0
+	})
+	sets := make([]bitset.Set, len(handles))
+	labelOf := make([]Label, arena.sets.Len())
+	for i, h := range handles {
+		sets[i] = arena.view(h)
+		labelOf[h] = Label(i)
 	}
 	alpha := derivedAlphabet(half.Alpha, sets)
 
@@ -299,7 +312,7 @@ func SecondHalfStep(half *Problem, opts ...Option) (*Problem, error) {
 	for _, sc := range maximal {
 		counts := make(map[Label]int, len(sc.groups))
 		for _, g := range sc.groups {
-			counts[indexOf[g.set.Key()]] += g.count
+			counts[labelOf[g.set]] += g.count
 		}
 		c, err := NewConfigCounts(counts)
 		if err != nil {

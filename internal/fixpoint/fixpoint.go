@@ -7,8 +7,9 @@
 // coloring).
 //
 // The driver applies core.Speedup repeatedly, memoizes every derived
-// problem's isomorphism class (hash-bucketed by core.IsoInvariantKey,
-// confirmed by core.Isomorphic), and classifies the trajectory:
+// problem's isomorphism class (hash-bucketed by interned
+// core.Fingerprint handles, confirmed by core.Isomorphic), and
+// classifies the trajectory:
 //
 //   - FixedPoint: Π_{i} is isomorphic to Π_{i-1} — one more round of
 //     speedup changes nothing, the paper's fixed-point situation.
@@ -142,9 +143,12 @@ func Run(p *core.Problem, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	// Isomorphism-class memo: invariant fingerprint → trajectory
-	// indices, confirmed pairwise by core.Isomorphic within a bucket.
-	buckets := map[string][]int{core.IsoInvariantKey(start): {0}}
+	// Isomorphism-class memo: interned invariant fingerprint →
+	// trajectory indices, confirmed pairwise by core.Isomorphic within
+	// a bucket. One Fingerprinter spans the whole run, so fingerprints
+	// of different trajectory entries are comparable handles.
+	fp := core.NewFingerprinter()
+	buckets := map[core.Fingerprint][]int{fp.Fingerprint(start): {0}}
 
 	cur := start
 	for step := 1; step <= maxSteps; step++ {
@@ -170,7 +174,7 @@ func Run(p *core.Problem, opts Options) (*Result, error) {
 			return res, nil
 		}
 
-		key := core.IsoInvariantKey(next)
+		key := fp.Fingerprint(next)
 		for _, j := range buckets[key] {
 			if m, ok := core.Isomorphic(next, res.Trajectory[j]); ok {
 				res.CycleStart = j

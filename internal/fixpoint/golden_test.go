@@ -1,0 +1,98 @@
+package fixpoint_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixpoint"
+	"repro/internal/problems"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trajectory files")
+
+// goldenMaxSteps and goldenMaxStates bound the golden runs. Both the
+// step count at which a run stops and the set of completed steps are
+// order-independent (the state budget counts total emissions, which is
+// the same for every enumeration order and worker count), so the
+// recorded trajectories are stable across engine-internal refactors.
+const (
+	goldenMaxSteps  = 3
+	goldenMaxStates = 60_000
+)
+
+// TestCatalogTrajectoriesGolden locks the Problem.String() rendering of
+// every fixpoint trajectory over the full catalog to golden files
+// captured from the string-keyed engine before the interning refactor,
+// for workers 1 and 4. Any representation change inside core must keep
+// these bytes identical.
+func TestCatalogTrajectoriesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog trajectories are heavy; skipped in -short mode")
+	}
+	for _, e := range problems.Catalog() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			var rendered string
+			for _, workers := range []int{1, 4} {
+				res, err := fixpoint.Run(e.Problem, fixpoint.Options{
+					MaxSteps: goldenMaxSteps,
+					Core: []core.Option{
+						core.WithMaxStates(goldenMaxStates),
+						core.WithWorkers(workers),
+					},
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := renderTrajectory(res)
+				if workers == 1 {
+					rendered = got
+				} else if got != rendered {
+					t.Fatalf("trajectory diverged between workers 1 and %d:\n%s\nvs\n%s", workers, rendered, got)
+				}
+			}
+
+			path := filepath.Join("testdata", "golden", goldenFileName(e.Name))
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if rendered != string(want) {
+				t.Fatalf("trajectory differs from pre-refactor golden %s:\ngot:\n%s\nwant:\n%s", path, rendered, want)
+			}
+		})
+	}
+}
+
+// renderTrajectory serializes classification plus every trajectory
+// entry's canonical string form.
+func renderTrajectory(res *fixpoint.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kind: %s\nsteps: %d\ncycle: start=%d len=%d\n", res.Kind, res.Steps, res.CycleStart, res.CycleLen)
+	for i, p := range res.Trajectory {
+		s := p.Stats()
+		fmt.Fprintf(&sb, "-- step %d (labels=%d edge=%d node=%d delta=%d) --\n%s",
+			i, s.Labels, s.EdgeConfigs, s.NodeConfigs, s.Delta, p.String())
+	}
+	return sb.String()
+}
+
+func goldenFileName(name string) string {
+	r := strings.NewReplacer("/", "_", "=", "", ",", "_")
+	return r.Replace(name) + ".txt"
+}

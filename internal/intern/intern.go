@@ -1,0 +1,246 @@
+// Package intern provides hash-consed arenas: append-only tables that
+// map values to dense uint32 handles, such that two values receive the
+// same handle iff they are equal. Handles are cheap to compare, hash
+// (they are map keys in their own right) and index with, which lets the
+// round-elimination engine key its hot-path maps by handle instead of
+// by materialized strings.
+//
+// Table interns sequences of uint64 words — the engine's label sets
+// (bitset words), packed multiset configurations and iso-invariant
+// fingerprints are all word sequences. Hashing is word-level
+// xor/multiply (no byte or string materialization), open-addressed,
+// and collision-checked by word comparison, so equal handles are a
+// proof of equal sequences, never a probabilistic claim.
+//
+// Strings interns Go strings (the oracle's radius-t view-class keys);
+// it exists for the one boundary where the canonical identity already
+// is a string.
+//
+// Both arenas are safe for concurrent use. Handles are assigned in
+// insertion order, so their numeric values depend on interleaving;
+// deterministic outputs must order by content (e.g. bitset.Compare),
+// not by handle value.
+package intern
+
+import (
+	"sync"
+)
+
+// Handle identifies an interned value within one arena. Handles from
+// different arenas are unrelated.
+type Handle uint32
+
+// Table is a hash-consed arena of uint64-word sequences.
+type Table struct {
+	mu   sync.RWMutex
+	data []uint64 // concatenated sequences
+	off  []uint32 // off[h]..off[h+1] delimit sequence h; len = count+1
+	tab  []uint32 // open-addressed buckets holding handle+1; 0 = empty
+	hash func([]uint64) uint64
+}
+
+// minBuckets keeps the probe table a power of two from the start.
+const minBuckets = 16
+
+// NewTable returns an empty arena pre-sized for about capacity
+// sequences. capacity <= 0 selects a small default.
+func NewTable(capacity int) *Table {
+	if capacity < 0 {
+		capacity = 0
+	}
+	n := minBuckets
+	for n < 2*capacity {
+		n *= 2
+	}
+	return &Table{
+		off:  make([]uint32, 1, capacity+1),
+		tab:  make([]uint32, n),
+		hash: HashWords,
+	}
+}
+
+// newTableWithHash is NewTable with an overridden hash function; the
+// collision-stress tests degrade the hash to force long probe chains.
+func newTableWithHash(capacity int, hash func([]uint64) uint64) *Table {
+	t := NewTable(capacity)
+	t.hash = hash
+	return t
+}
+
+// HashWords is the arena's word-level mixing function: xor/multiply per
+// word with a murmur-style finalizer, seeded by the sequence length so
+// that zero-padded sequences of different lengths separate.
+func HashWords(seq []uint64) uint64 {
+	h := uint64(len(seq))*0x9E3779B97F4A7C15 + 0x1F83D9ABFB41BD6B
+	for _, w := range seq {
+		h = (h ^ w) * 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+// Len returns the number of interned sequences.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	n := len(t.off) - 1
+	t.mu.RUnlock()
+	return n
+}
+
+// Seq returns the words of handle h. The returned slice aliases the
+// arena and must not be modified.
+func (t *Table) Seq(h Handle) []uint64 {
+	t.mu.RLock()
+	s := t.data[t.off[h]:t.off[h+1]:t.off[h+1]]
+	t.mu.RUnlock()
+	return s
+}
+
+// Lookup returns the handle of seq if it is already interned. It never
+// inserts, so it is the right membership test for read-only phases.
+func (t *Table) Lookup(seq []uint64) (Handle, bool) {
+	hv := t.hash(seq)
+	t.mu.RLock()
+	h, ok := t.find(hv, seq)
+	t.mu.RUnlock()
+	return h, ok
+}
+
+// Intern returns the handle of seq, inserting it first if needed. The
+// words are copied; the caller keeps ownership of seq.
+func (t *Table) Intern(seq []uint64) Handle {
+	hv := t.hash(seq)
+	t.mu.RLock()
+	h, ok := t.find(hv, seq)
+	t.mu.RUnlock()
+	if ok {
+		return h
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Re-probe: another writer may have inserted seq (or grown the
+	// table) between the two lock acquisitions.
+	if h, ok := t.find(hv, seq); ok {
+		return h
+	}
+	count := len(t.off) - 1
+	if 4*(count+1) > 3*len(t.tab) {
+		t.grow()
+	}
+	h = Handle(count)
+	t.data = append(t.data, seq...)
+	t.off = append(t.off, uint32(len(t.data)))
+	t.place(hv, h)
+	return h
+}
+
+// find probes for seq under an already-held lock.
+func (t *Table) find(hv uint64, seq []uint64) (Handle, bool) {
+	mask := uint64(len(t.tab) - 1)
+	for i := hv & mask; ; i = (i + 1) & mask {
+		slot := t.tab[i]
+		if slot == 0 {
+			return 0, false
+		}
+		h := Handle(slot - 1)
+		if t.seqEqual(h, seq) {
+			return h, true
+		}
+	}
+}
+
+// seqEqual collision-checks a candidate handle by word comparison.
+func (t *Table) seqEqual(h Handle, seq []uint64) bool {
+	got := t.data[t.off[h]:t.off[h+1]]
+	if len(got) != len(seq) {
+		return false
+	}
+	for i, w := range got {
+		if w != seq[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// place inserts handle h at its probe position; write lock held.
+func (t *Table) place(hv uint64, h Handle) {
+	mask := uint64(len(t.tab) - 1)
+	i := hv & mask
+	for t.tab[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.tab[i] = uint32(h) + 1
+}
+
+// grow doubles the probe table and re-places every handle.
+func (t *Table) grow() {
+	t.tab = make([]uint32, 2*len(t.tab))
+	for h := 0; h < len(t.off)-1; h++ {
+		t.place(t.hash(t.data[t.off[h]:t.off[h+1]]), Handle(h))
+	}
+}
+
+// Clone returns an independent copy of the arena with identical handle
+// assignments.
+func (t *Table) Clone() *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := &Table{
+		data: append([]uint64(nil), t.data...),
+		off:  append([]uint32(nil), t.off...),
+		tab:  append([]uint32(nil), t.tab...),
+		hash: t.hash,
+	}
+	return c
+}
+
+// Strings is a hash-consed arena of strings: dense handles, one stored
+// copy per distinct string.
+type Strings struct {
+	mu    sync.RWMutex
+	index map[string]Handle
+	vals  []string
+}
+
+// NewStrings returns an empty string arena.
+func NewStrings() *Strings {
+	return &Strings{index: make(map[string]Handle)}
+}
+
+// Intern returns the handle of v, inserting it first if needed.
+func (s *Strings) Intern(v string) Handle {
+	s.mu.RLock()
+	h, ok := s.index[v]
+	s.mu.RUnlock()
+	if ok {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.index[v]; ok {
+		return h
+	}
+	h = Handle(len(s.vals))
+	s.vals = append(s.vals, v)
+	s.index[v] = h
+	return h
+}
+
+// Value returns the string of handle h.
+func (s *Strings) Value(h Handle) string {
+	s.mu.RLock()
+	v := s.vals[h]
+	s.mu.RUnlock()
+	return v
+}
+
+// Len returns the number of interned strings.
+func (s *Strings) Len() int {
+	s.mu.RLock()
+	n := len(s.vals)
+	s.mu.RUnlock()
+	return n
+}

@@ -1,0 +1,189 @@
+package intern
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// TestHandleEqualityIffSetEquality is the interner's core property, on
+// random bitsets: two sets receive the same handle iff they are equal.
+func TestHandleEqualityIffSetEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 64, 65, 200} {
+		tab := NewTable(0)
+		sets := make([]bitset.Set, 0, 200)
+		handles := make([]Handle, 0, 200)
+		for i := 0; i < 200; i++ {
+			s := bitset.New(n)
+			for b := 0; b < n; b++ {
+				if rng.Intn(3) == 0 {
+					s.Add(b)
+				}
+			}
+			sets = append(sets, s)
+			handles = append(handles, tab.Intern(s.Words()))
+		}
+		for i := range sets {
+			for j := range sets {
+				if (handles[i] == handles[j]) != sets[i].Equal(sets[j]) {
+					t.Fatalf("n=%d: handle equality (%v) disagrees with set equality (%v) for %v vs %v",
+						n, handles[i] == handles[j], sets[i].Equal(sets[j]), sets[i], sets[j])
+				}
+			}
+			// Round trip: the stored words reconstruct the set.
+			if !bitset.Wrap(n, tab.Seq(handles[i])).Equal(sets[i]) {
+				t.Fatalf("n=%d: Seq(%d) does not reconstruct %v", n, handles[i], sets[i])
+			}
+		}
+	}
+}
+
+// TestSequenceLengthsSeparate guards the padding edge case: sequences
+// that are prefixes of one another must intern to distinct handles.
+func TestSequenceLengthsSeparate(t *testing.T) {
+	tab := NewTable(0)
+	a := tab.Intern([]uint64{0})
+	b := tab.Intern([]uint64{0, 0})
+	c := tab.Intern([]uint64{0, 0, 0})
+	d := tab.Intern(nil)
+	if a == b || b == c || a == c || d == a {
+		t.Fatalf("prefix sequences collapsed: %d %d %d %d", a, b, c, d)
+	}
+	if got := tab.Intern([]uint64{0, 0}); got != b {
+		t.Fatalf("re-intern of {0,0} returned %d, want %d", got, b)
+	}
+}
+
+// TestNegativeCapacity locks the documented "capacity <= 0 selects a
+// small default" behavior for negative inputs (computed capacities like
+// count-1 on an empty input must not panic).
+func TestNegativeCapacity(t *testing.T) {
+	tab := NewTable(-1)
+	if h := tab.Intern([]uint64{7}); h != 0 {
+		t.Fatalf("first handle = %d, want 0", h)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+// TestCollisionStressDegradedHash degrades the hash to a constant so
+// every sequence lands on one probe chain: the arena must stay correct
+// (word-comparison collision checks), only slower.
+func TestCollisionStressDegradedHash(t *testing.T) {
+	tab := newTableWithHash(0, func([]uint64) uint64 { return 42 })
+	rng := rand.New(rand.NewSource(2))
+	seen := map[[3]uint64]Handle{}
+	for i := 0; i < 2000; i++ {
+		var key [3]uint64
+		for j := range key {
+			key[j] = uint64(rng.Intn(4)) // few distinct values → many repeats
+		}
+		h := tab.Intern(key[:])
+		if prev, ok := seen[key]; ok {
+			if h != prev {
+				t.Fatalf("equal sequence %v interned to %d then %d under degraded hash", key, prev, h)
+			}
+		} else {
+			for k, ph := range seen {
+				if ph == h {
+					t.Fatalf("distinct sequences %v and %v share handle %d under degraded hash", k, key, h)
+				}
+			}
+			seen[key] = h
+		}
+	}
+	if tab.Len() != len(seen) {
+		t.Fatalf("arena holds %d sequences, want %d", tab.Len(), len(seen))
+	}
+}
+
+// TestConcurrentIntern hammers one arena from many goroutines over an
+// overlapping value set; handles must be consistent (run under -race).
+func TestConcurrentIntern(t *testing.T) {
+	tab := NewTable(0)
+	const workers, perWorker, universe = 8, 3000, 257
+	results := make([]map[uint64]Handle, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			got := map[uint64]Handle{}
+			for i := 0; i < perWorker; i++ {
+				v := uint64(rng.Intn(universe))
+				got[v] = tab.Intern([]uint64{v, v * v})
+			}
+			results[w] = got
+		}()
+	}
+	wg.Wait()
+	merged := map[uint64]Handle{}
+	for _, got := range results {
+		for v, h := range got {
+			if prev, ok := merged[v]; ok && prev != h {
+				t.Fatalf("value %d interned to both %d and %d across goroutines", v, prev, h)
+			}
+			merged[v] = h
+		}
+	}
+	if tab.Len() != len(merged) {
+		t.Fatalf("arena holds %d sequences, want %d distinct", tab.Len(), len(merged))
+	}
+}
+
+// TestCloneIndependence: a clone answers identically for existing
+// content and diverges independently afterwards.
+func TestCloneIndependence(t *testing.T) {
+	tab := NewTable(0)
+	h0 := tab.Intern([]uint64{1, 2})
+	c := tab.Clone()
+	if got, ok := c.Lookup([]uint64{1, 2}); !ok || got != h0 {
+		t.Fatalf("clone lost {1,2}: %d %v", got, ok)
+	}
+	h1 := c.Intern([]uint64{9})
+	if _, ok := tab.Lookup([]uint64{9}); ok {
+		t.Fatal("insert into clone leaked into original")
+	}
+	if h1 != Handle(1) {
+		t.Fatalf("clone assigned handle %d, want 1", h1)
+	}
+}
+
+// TestStringsArena covers the string-keyed arena used for the oracle's
+// view classes.
+func TestStringsArena(t *testing.T) {
+	s := NewStrings()
+	a := s.Intern("view-a")
+	b := s.Intern("view-b")
+	if a == b {
+		t.Fatal("distinct strings share a handle")
+	}
+	if s.Intern("view-a") != a {
+		t.Fatal("re-intern changed the handle")
+	}
+	if s.Value(a) != "view-a" || s.Value(b) != "view-b" {
+		t.Fatal("Value does not round-trip")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	tab := NewTable(1024)
+	seqs := make([][]uint64, 512)
+	for i := range seqs {
+		seqs[i] = []uint64{uint64(i), uint64(i * 3), uint64(i * 7)}
+		tab.Intern(seqs[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Intern(seqs[i%len(seqs)])
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/intern"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -150,8 +151,12 @@ func Decide(p *core.Problem, insts []Instance, t int, opts ...Option) (*Verdict,
 	delta := p.Delta()
 
 	// 1. Collect the radius-t view classes, in parallel over instances.
+	// View keys are interned to dense handles as they are produced, so
+	// every later per-node lookup is a slice index instead of a
+	// string-keyed map probe over long view keys.
+	views := intern.NewStrings()
 	type instViews struct {
-		keys    []string
+		keys    []intern.Handle
 		degrees []int
 	}
 	collected := make([]instViews, len(insts))
@@ -159,29 +164,35 @@ func Decide(p *core.Problem, insts []Instance, t int, opts ...Option) (*Verdict,
 	par.RunIndexed(par.WorkerCount(o.workers, len(insts)), len(insts), func(ii int) {
 		inst := insts[ii]
 		b := sim.NewViewBuilder(inst.G, inst.In)
-		iv := instViews{keys: make([]string, inst.G.N()), degrees: make([]int, inst.G.N())}
+		iv := instViews{keys: make([]intern.Handle, inst.G.N()), degrees: make([]int, inst.G.N())}
 		for v := 0; v < inst.G.N(); v++ {
-			iv.keys[v] = b.View(v, t).Key()
+			iv.keys[v] = views.Intern(b.View(v, t).Key())
 			iv.degrees[v] = inst.G.Degree(v)
 		}
 		collected[ii] = iv
 	})
-	classDegree := map[string]int{}
+	degreeOf := make([]int, views.Len())
 	for ii := range collected {
 		totalNodes += len(collected[ii].keys)
-		for v, key := range collected[ii].keys {
-			classDegree[key] = collected[ii].degrees[v]
+		for v, h := range collected[ii].keys {
+			degreeOf[h] = collected[ii].degrees[v]
 		}
 	}
-	// Canonical class numbering: sorted by view key.
-	classKeys := make([]string, 0, len(classDegree))
-	for key := range classDegree {
-		classKeys = append(classKeys, key)
+	// Canonical class numbering: sorted by view key, exactly as the
+	// string-keyed engine numbered classes, so witnesses render
+	// identically.
+	classHandles := make([]intern.Handle, views.Len())
+	for h := range classHandles {
+		classHandles[h] = intern.Handle(h)
 	}
-	sort.Strings(classKeys)
-	classOf := make(map[string]int, len(classKeys))
-	for i, key := range classKeys {
-		classOf[key] = i
+	sort.Slice(classHandles, func(i, j int) bool {
+		return views.Value(classHandles[i]) < views.Value(classHandles[j])
+	})
+	classKeys := make([]string, len(classHandles))
+	classOf := make([]int, views.Len()) // handle → class rank
+	for i, h := range classHandles {
+		classKeys[i] = views.Value(h)
+		classOf[h] = i
 	}
 
 	// 2. Candidate output tuples per class.
@@ -209,8 +220,8 @@ func Decide(p *core.Problem, insts []Instance, t int, opts ...Option) (*Verdict,
 		return tuples, nil
 	}
 	classTuples := make([][][]core.Label, len(classKeys))
-	for i, key := range classKeys {
-		tuples, err := tuplesFor(classDegree[key])
+	for i, h := range classHandles {
+		tuples, err := tuplesFor(degreeOf[h])
 		if err != nil {
 			return nil, err
 		}
@@ -321,7 +332,7 @@ func Decide(p *core.Problem, insts []Instance, t int, opts ...Option) (*Verdict,
 		verdict.Witness[c] = ClassOutputs{ViewKey: classKeys[c], Outputs: names}
 	}
 	// Self-check the witness against every instance before reporting.
-	allKeys := make([][]string, len(insts))
+	allKeys := make([][]intern.Handle, len(insts))
 	for ii := range collected {
 		allKeys[ii] = collected[ii].keys
 	}
@@ -574,7 +585,7 @@ func mrv(domains [][]int, assigned []int) int {
 // checkWitness validates a satisfying assignment against every
 // instance: node constraint at every Δ-degree node (all nodes unless
 // relaxed), edge constraint on every edge.
-func checkWitness(p *core.Problem, insts []Instance, allKeys [][]string, classOf map[string]int, classTuples [][][]core.Label, assignment []int, relaxed bool) error {
+func checkWitness(p *core.Problem, insts []Instance, allKeys [][]intern.Handle, classOf []int, classTuples [][][]core.Label, assignment []int, relaxed bool) error {
 	delta := p.Delta()
 	for ii, inst := range insts {
 		labelsAt := func(v int) []core.Label {

@@ -24,17 +24,13 @@ import (
 // return port and the orientations of the neighbor's other ports. High
 // girth means neighbors are pairwise non-adjacent, and 1-independence
 // means every combination of per-port descriptions occurs.
+// Views carry no string identity: the search space is indexed by the
+// enumeration order, and output-tuple membership queries go through
+// the interned (handle-keyed) constraint representation of core.
 type view struct {
-	ownOut    []bool     // orientation per own port (true = out)
-	returnPos []int      // neighbor's port leading back, per own port
-	nbOut     [][]bool   // neighbor's full orientation pattern, per own port
-	key       string     // canonical identity
-	outputs   []int      // search state: chosen label per port, -1 unset
-	options   [][]option // precomputed per-node-constraint output tuples
-}
-
-type option struct {
-	labels []core.Label
+	ownOut    []bool   // orientation per own port (true = out)
+	returnPos []int    // neighbor's port leading back, per own port
+	nbOut     [][]bool // neighbor's full orientation pattern, per own port
 }
 
 // OneRoundOrientedSolvable reports whether p admits a 1-round algorithm
