@@ -20,6 +20,7 @@ import (
 	"repro/internal/problems"
 	"repro/internal/sim"
 	"repro/internal/solve"
+	"repro/internal/store"
 	"repro/internal/superweak"
 	"repro/internal/synth"
 )
@@ -398,6 +399,132 @@ func BenchmarkE11InternedFixpoint(b *testing.B) {
 					b.Fatalf("classified %v, want %v", res.Kind, tc.want)
 				}
 			}
+		})
+	}
+}
+
+// sweepMaxStates/sweepBudget match the bounds of the fixpoint golden
+// tests: several catalog trajectories grow without bound, so sweeps pin
+// MaxSteps and the state budget to make every task terminate
+// deterministically. The same sweepMaxStates must key the store records
+// (TrajectoryParams, StepMemo) or the memo would never match its run.
+const sweepMaxStates = 60_000
+
+var sweepBudget = fixpoint.Options{
+	MaxSteps: 3,
+	Core:     []core.Option{core.WithMaxStates(sweepMaxStates), core.WithWorkers(1)},
+}
+
+// sweepCatalogOnce replays cmd/sweep's per-task path over the full
+// catalog against one store directory: checkpoint lookup, memoized
+// fixpoint run on a miss, checkpoint write. It returns the number of
+// checkpoint hits.
+func sweepCatalogOnce(b *testing.B, st *store.Store) int {
+	b.Helper()
+	params := store.TrajectoryParams{MaxSteps: sweepBudget.MaxSteps, MaxStates: sweepMaxStates}
+	hits := 0
+	for _, entry := range problems.Catalog() {
+		if _, ok, _ := st.GetTrajectory(entry.Problem, params); ok {
+			hits++
+			continue
+		}
+		opts := sweepBudget
+		opts.Memo = st.StepMemo(sweepMaxStates)
+		res, err := fixpoint.Run(entry.Problem, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.PutTrajectory(entry.Problem, params, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return hits
+}
+
+// BenchmarkE12SweepStore: the E12 pair — a full-catalog classification
+// sweep against a cold persistent store (every trajectory computed,
+// checkpointed and step-memoized) vs the same sweep against the warm
+// store it leaves behind (every task a checkpoint hit). The ratio is
+// the cache's whole value proposition; EXPERIMENTS.md records it.
+func BenchmarkE12SweepStore(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if hits := sweepCatalogOnce(b, st); hits != 0 {
+				b.Fatalf("cold sweep had %d checkpoint hits", hits)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweepCatalogOnce(b, st) // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if hits := sweepCatalogOnce(b, st); hits != len(problems.Catalog()) {
+				b.Fatalf("warm sweep had %d hits, want %d", hits, len(problems.Catalog()))
+			}
+		}
+	})
+}
+
+// BenchmarkE13FixpointMemo: the E13 pair — fixpoint runs against a warm
+// step memo, store-backed (disk record + canonical-parse per step) vs
+// in-memory (fixpoint.MapMemo) vs none. Store hits replace each
+// enumeration with a file read; the in-memory memo bounds the best
+// case. Outputs are byte-identical in all three modes (locked by
+// TestMemoHitMatchesColdRun and TestMapMemoByteIdentity).
+func BenchmarkE13FixpointMemo(b *testing.B) {
+	cases := []struct {
+		name string
+		p    *core.Problem
+	}{
+		{"sinkless-coloring/delta=8", problems.SinklessColoring(8)},
+		{"sinkless-orientation/delta=3", problems.SinklessOrientation(3)},
+		{"weak2-pointer/delta=3", problems.WeakTwoColoringPointer(3)},
+	}
+	for _, tc := range cases {
+		run := func(b *testing.B, memo fixpoint.Memo) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := sweepBudget
+				opts.Memo = memo
+				if _, err := fixpoint.Run(tc.p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(tc.name+"/memo=none", func(b *testing.B) { run(b, nil) })
+		b.Run(tc.name+"/memo=map", func(b *testing.B) {
+			memo := fixpoint.NewMapMemo()
+			opts := sweepBudget
+			opts.Memo = memo
+			if _, err := fixpoint.Run(tc.p, opts); err != nil { // warm it
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			run(b, memo)
+		})
+		b.Run(tc.name+"/memo=store", func(b *testing.B) {
+			st, err := store.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			memo := st.StepMemo(sweepMaxStates)
+			opts := sweepBudget
+			opts.Memo = memo
+			if _, err := fixpoint.Run(tc.p, opts); err != nil { // warm it
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			run(b, memo)
 		})
 	}
 }

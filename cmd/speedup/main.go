@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	speedup [-steps n] [-half] [-keep-names] [-workers n] [-fixpoint] [-max-steps n] [file]
+//	speedup [-steps n] [-half] [-keep-names] [-workers n] [-fixpoint] [-max-steps n] [-store dir] [file]
 //
 // Example (sinkless coloring at Δ=3):
 //
@@ -17,6 +17,11 @@
 // classification. This is the paper's lower-bound recipe as one flag:
 //
 //	printf 'node:\n0^2 1\nedge:\n0 0\n0 1\n' | speedup -fixpoint
+//
+// With -store dir the fixpoint driver memoizes every speedup step in
+// the persistent result store under dir (shared with cmd/sweep):
+// repeated queries replace each transformation with a record lookup,
+// and output is byte-identical with and without the store.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fixpoint"
+	"repro/internal/store"
 )
 
 func main() {
@@ -36,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count for the parallel enumerations (0 = GOMAXPROCS)")
 	fixpointMode := flag.Bool("fixpoint", false, "iterate speedup to a fixed point / cycle and classify the trajectory")
 	maxSteps := flag.Int("max-steps", fixpoint.DefaultMaxSteps, "iteration bound in -fixpoint mode")
+	storeDir := flag.String("store", "", "persistent result store directory for step memoization (requires -fixpoint)")
 	flag.Parse()
 	if err := validateFlags(*fixpointMode, *maxSteps); err != nil {
 		fmt.Fprintln(os.Stderr, "speedup:", err)
@@ -48,6 +55,7 @@ func main() {
 		workers:   *workers,
 		fixpoint:  *fixpointMode,
 		maxSteps:  *maxSteps,
+		storeDir:  *storeDir,
 	}, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "speedup:", err)
 		os.Exit(1)
@@ -60,14 +68,17 @@ func validateFlags(fixpointMode bool, maxSteps int) error {
 	if maxSteps < 1 {
 		return fmt.Errorf("-max-steps must be >= 1, got %d", maxSteps)
 	}
-	if !fixpointMode {
-		return nil
-	}
 	var conflict error
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "half", "steps", "keep-names":
-			conflict = fmt.Errorf("-%s cannot be combined with -fixpoint", f.Name)
+			if fixpointMode {
+				conflict = fmt.Errorf("-%s cannot be combined with -fixpoint", f.Name)
+			}
+		case "store":
+			if !fixpointMode {
+				conflict = fmt.Errorf("-store requires -fixpoint (the plain-step printer shows derived set-names the store does not keep)")
+			}
 		}
 	})
 	return conflict
@@ -80,6 +91,7 @@ type options struct {
 	workers   int
 	fixpoint  bool
 	maxSteps  int
+	storeDir  string
 }
 
 func run(o options, path string) error {
@@ -132,7 +144,17 @@ func run(o options, path string) error {
 }
 
 func runFixpoint(p *core.Problem, o options, coreOpts []core.Option) error {
-	res, err := fixpoint.Run(p, fixpoint.Options{MaxSteps: o.maxSteps, Core: coreOpts})
+	var memo fixpoint.Memo
+	if o.storeDir != "" {
+		st, err := store.Open(o.storeDir)
+		if err != nil {
+			return err
+		}
+		// This command never overrides WithMaxStates, so its steps are
+		// cached under the engine-default budget (0).
+		memo = st.StepMemo(0)
+	}
+	res, err := fixpoint.Run(p, fixpoint.Options{MaxSteps: o.maxSteps, Core: coreOpts, Memo: memo})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,419 @@
+// Command sweep batch-classifies the whole problem catalog across a
+// Δ/k parameter grid: every (family, Δ, k) point is instantiated,
+// pushed through the iterated round-elimination driver
+// (internal/fixpoint), and reported as one row of a JSON or TSV table.
+//
+// Usage:
+//
+//	sweep [-store dir] [-workers n] [-core-workers n]
+//	      [-max-steps n] [-max-states n]
+//	      [-families list] [-delta lo:hi] [-k lo:hi] [-catalog]
+//	      [-format tsv|json] [-out file] [-v]
+//
+// Tasks shard across a worker pool (internal/par). With -store the
+// sweep is checkpointed: every classified trajectory is committed to
+// the persistent result store as soon as it finishes, and a later
+// invocation with the same flags skips straight past every finished
+// task — so a sweep killed at any point (kill -9 included) resumes
+// where it stopped and produces a byte-identical report, because
+// stored results replay the exact trajectories a cold run computes.
+// The store also memoizes individual speedup steps, which warms even
+// tasks whose own checkpoint is missing; without -store an in-memory
+// step memo is shared across the tasks of this one run.
+//
+// The report is written only after every task has finished, in grid
+// order, so cold, warm, and interrupted-then-resumed runs emit
+// identical bytes. Timing or cache-hit information never goes into the
+// report (that would break the identity); -v prints it to stderr.
+//
+// Examples:
+//
+//	sweep -store ./results                  # full default grid, TSV
+//	sweep -store ./results -format json     # same tasks, JSON report
+//	sweep -catalog                          # the paper's catalog only
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fixpoint"
+	"repro/internal/par"
+	"repro/internal/problems"
+	"repro/internal/store"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	// The report is buffered and only committed to -out after a fully
+	// successful run, so a failed run never truncates a previous report.
+	var buf bytes.Buffer
+	out := io.Writer(os.Stdout)
+	toFile := cfg.outPath != "" && cfg.outPath != "-"
+	if toFile {
+		out = &buf
+	}
+	if err := run(cfg, out, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if toFile {
+		if err := os.WriteFile(cfg.outPath, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// config is the parsed flag set of one sweep invocation.
+type config struct {
+	storeDir    string
+	workers     int
+	coreWorkers int
+	maxSteps    int
+	maxStates   int
+	families    []string
+	deltaLo     int
+	deltaHi     int
+	kLo         int
+	kHi         int
+	catalog     bool
+	format      string
+	outPath     string
+	verbose     bool
+}
+
+// allFamilies lists the sweepable problem families in grid order.
+var allFamilies = []string{
+	"sinkless-coloring",
+	"sinkless-orientation",
+	"k-coloring",
+	"weak2-pointer",
+	"superweak",
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.storeDir, "store", "", "persistent result store directory (checkpoints + step memo); empty = in-memory only")
+	fs.IntVar(&cfg.workers, "workers", 0, "task-level worker count (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.coreWorkers, "core-workers", 1, "worker count inside each speedup step (tasks are already parallel)")
+	fs.IntVar(&cfg.maxSteps, "max-steps", 4, "fixpoint iteration bound per task")
+	fs.IntVar(&cfg.maxStates, "max-states", 60_000, "per-step enumeration state budget (0 = engine default)")
+	families := fs.String("families", strings.Join(allFamilies, ","), "comma-separated families to sweep")
+	delta := fs.String("delta", "2:4", "Δ range lo:hi (inclusive)")
+	k := fs.String("k", "2:3", "k range lo:hi (inclusive; k-coloring and superweak)")
+	fs.BoolVar(&cfg.catalog, "catalog", false, "sweep exactly the paper's problems.Catalog() instead of the grid")
+	fs.StringVar(&cfg.format, "format", "tsv", "report format: tsv or json")
+	fs.StringVar(&cfg.outPath, "out", "-", "report destination ('-' = stdout)")
+	fs.BoolVar(&cfg.verbose, "v", false, "progress and cache-hit info on stderr")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if fs.NArg() != 0 {
+		return cfg, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if cfg.catalog {
+		var conflict error
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "families", "delta", "k":
+				conflict = fmt.Errorf("-%s cannot be combined with -catalog (the catalog is a fixed task list)", f.Name)
+			}
+		})
+		if conflict != nil {
+			return cfg, conflict
+		}
+	}
+	if cfg.format != "tsv" && cfg.format != "json" {
+		return cfg, fmt.Errorf("-format must be tsv or json, got %q", cfg.format)
+	}
+	if cfg.maxSteps < 1 {
+		return cfg, fmt.Errorf("-max-steps must be >= 1, got %d", cfg.maxSteps)
+	}
+	if cfg.maxStates < 0 {
+		return cfg, fmt.Errorf("-max-states must be >= 0, got %d", cfg.maxStates)
+	}
+	var err error
+	if cfg.deltaLo, cfg.deltaHi, err = parseRange(*delta); err != nil {
+		return cfg, fmt.Errorf("-delta: %v", err)
+	}
+	if cfg.kLo, cfg.kHi, err = parseRange(*k); err != nil {
+		return cfg, fmt.Errorf("-k: %v", err)
+	}
+	for _, f := range strings.Split(*families, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if !slices.Contains(allFamilies, f) {
+			return cfg, fmt.Errorf("unknown family %q (have %s)", f, strings.Join(allFamilies, ", "))
+		}
+		cfg.families = append(cfg.families, f)
+	}
+	if len(cfg.families) == 0 {
+		return cfg, fmt.Errorf("-families selected nothing")
+	}
+	return cfg, nil
+}
+
+// parseRange reads an inclusive "lo:hi" range, strictly: the whole
+// string must be the two integers and the colon.
+func parseRange(s string) (lo, hi int, err error) {
+	loStr, hiStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want lo:hi, got %q", s)
+	}
+	if lo, err = strconv.Atoi(loStr); err != nil {
+		return 0, 0, fmt.Errorf("want lo:hi, got %q", s)
+	}
+	if hi, err = strconv.Atoi(hiStr); err != nil {
+		return 0, 0, fmt.Errorf("want lo:hi, got %q", s)
+	}
+	if lo < 1 || hi < lo {
+		return 0, 0, fmt.Errorf("bad range %d:%d", lo, hi)
+	}
+	return lo, hi, nil
+}
+
+// task is one grid point: an instantiated problem plus its identity.
+type task struct {
+	Name   string
+	Family string
+	Delta  int
+	K      int // 0 when the family has no k parameter
+	Prob   *core.Problem
+}
+
+// buildTasks expands the configured grid (or the fixed catalog) into
+// the deterministic task list that defines both the sharding and the
+// report row order.
+func buildTasks(cfg config) []task {
+	if cfg.catalog {
+		var tasks []task
+		for _, e := range problems.Catalog() {
+			tasks = append(tasks, task{Name: e.Name, Family: familyOf(e.Name), Delta: e.Problem.Delta(), K: kOf(e.Name), Prob: e.Problem})
+		}
+		return tasks
+	}
+	var tasks []task
+	for _, family := range cfg.families {
+		for delta := cfg.deltaLo; delta <= cfg.deltaHi; delta++ {
+			switch family {
+			case "sinkless-coloring":
+				tasks = append(tasks, task{
+					Name:   fmt.Sprintf("sinkless-coloring/delta=%d", delta),
+					Family: family, Delta: delta,
+					Prob: problems.SinklessColoring(delta),
+				})
+			case "sinkless-orientation":
+				tasks = append(tasks, task{
+					Name:   fmt.Sprintf("sinkless-orientation/delta=%d", delta),
+					Family: family, Delta: delta,
+					Prob: problems.SinklessOrientation(delta),
+				})
+			case "weak2-pointer":
+				tasks = append(tasks, task{
+					Name:   fmt.Sprintf("weak2-pointer/delta=%d", delta),
+					Family: family, Delta: delta,
+					Prob: problems.WeakTwoColoringPointer(delta),
+				})
+			case "k-coloring":
+				for k := cfg.kLo; k <= cfg.kHi; k++ {
+					tasks = append(tasks, task{
+						Name:   fmt.Sprintf("%d-coloring/delta=%d", k, delta),
+						Family: family, Delta: delta, K: k,
+						Prob: problems.KColoring(k, delta),
+					})
+				}
+			case "superweak":
+				for k := cfg.kLo; k <= cfg.kHi; k++ {
+					if k < 2 { // the problem is defined for k >= 2
+						continue
+					}
+					tasks = append(tasks, task{
+						Name:   fmt.Sprintf("superweak/k=%d,delta=%d", k, delta),
+						Family: family, Delta: delta, K: k,
+						Prob: problems.Superweak(k, delta),
+					})
+				}
+			}
+		}
+	}
+	return tasks
+}
+
+// familyOf recovers the family segment of a catalog name.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	if strings.HasSuffix(name, "-coloring") && name != "sinkless-coloring" {
+		return "k-coloring"
+	}
+	return name
+}
+
+// kOf recovers the k parameter of a catalog name ("3-coloring/...",
+// ".../k=2,..."); 0 for families without one, matching grid tasks.
+func kOf(name string) int {
+	if i := strings.Index(name, "k="); i >= 0 {
+		var k int
+		if _, err := fmt.Sscanf(name[i:], "k=%d", &k); err == nil {
+			return k
+		}
+	}
+	if familyOf(name) == "k-coloring" {
+		if k, err := strconv.Atoi(name[:strings.IndexByte(name, '-')]); err == nil {
+			return k
+		}
+	}
+	return 0
+}
+
+// row is one report line. Every field is a pure function of the task
+// and its fixpoint.Result, never of where the result came from — that
+// is what makes cold, warm, and resumed reports byte-identical.
+type row struct {
+	Name        string `json:"name"`
+	Family      string `json:"family"`
+	Delta       int    `json:"delta"`
+	K           int    `json:"k,omitempty"`
+	Labels      int    `json:"labels"`
+	EdgeConfigs int    `json:"edge_configs"`
+	NodeConfigs int    `json:"node_configs"`
+	Class       string `json:"class"`
+	Steps       int    `json:"steps"`
+	CycleStart  int    `json:"cycle_start"`
+	CycleLen    int    `json:"cycle_len"`
+	LastLabels  int    `json:"last_labels"`
+	LastEdge    int    `json:"last_edge_configs"`
+	LastNode    int    `json:"last_node_configs"`
+	Err         string `json:"err,omitempty"`
+}
+
+// makeRow condenses a classified trajectory into its report line.
+func makeRow(t task, res *fixpoint.Result) row {
+	in := t.Prob.Stats()
+	last := res.Last().Stats()
+	r := row{
+		Name: t.Name, Family: t.Family, Delta: t.Delta, K: t.K,
+		Labels: in.Labels, EdgeConfigs: in.EdgeConfigs, NodeConfigs: in.NodeConfigs,
+		Class: res.Kind.String(), Steps: res.Steps,
+		CycleStart: res.CycleStart, CycleLen: res.CycleLen,
+		LastLabels: last.Labels, LastEdge: last.EdgeConfigs, LastNode: last.NodeConfigs,
+	}
+	if res.Err != nil {
+		r.Err = res.Err.Error()
+	}
+	return r
+}
+
+// run executes the sweep: build the grid, classify every task (store
+// checkpoints permitting), and write the report to out. Progress goes
+// to errw when verbose.
+func run(cfg config, out, errw io.Writer) error {
+	tasks := buildTasks(cfg)
+	if len(tasks) == 0 {
+		return fmt.Errorf("empty grid")
+	}
+
+	var st *store.Store
+	var memo fixpoint.Memo
+	if cfg.storeDir != "" {
+		var err error
+		if st, err = store.Open(cfg.storeDir); err != nil {
+			return err
+		}
+		memo = st.StepMemo(cfg.maxStates)
+	} else {
+		memo = fixpoint.NewMapMemo()
+	}
+	params := store.TrajectoryParams{MaxSteps: cfg.maxSteps, MaxStates: cfg.maxStates}
+	coreOpts := []core.Option{core.WithWorkers(cfg.coreWorkers)}
+	if cfg.maxStates > 0 {
+		coreOpts = append(coreOpts, core.WithMaxStates(cfg.maxStates))
+	}
+
+	rows := make([]row, len(tasks))
+	workers := par.WorkerCount(cfg.workers, len(tasks))
+	start := time.Now()
+	err := par.RunSharded(workers, len(tasks), func(_, i int) error {
+		t := tasks[i]
+		if st != nil {
+			if res, ok, err := st.GetTrajectory(t.Prob, params); ok {
+				rows[i] = makeRow(t, res)
+				if cfg.verbose {
+					fmt.Fprintf(errw, "sweep: %-32s checkpoint hit\n", t.Name)
+				}
+				return nil
+			} else if err != nil && cfg.verbose {
+				fmt.Fprintf(errw, "sweep: %-32s corrupt checkpoint (%v), recomputing\n", t.Name, err)
+			}
+		}
+		taskStart := time.Now()
+		res, err := fixpoint.Run(t.Prob, fixpoint.Options{
+			MaxSteps: cfg.maxSteps,
+			Core:     coreOpts,
+			Memo:     memo,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", t.Name, err)
+		}
+		if st != nil {
+			if err := st.PutTrajectory(t.Prob, params, res); err != nil {
+				return fmt.Errorf("%s: checkpoint: %w", t.Name, err)
+			}
+		}
+		rows[i] = makeRow(t, res)
+		if cfg.verbose {
+			fmt.Fprintf(errw, "sweep: %-32s %-20s %8.1fms\n", t.Name, res.Kind, float64(time.Since(taskStart).Microseconds())/1000)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.verbose {
+		fmt.Fprintf(errw, "sweep: %d task(s) in %v with %d worker(s)\n", len(tasks), time.Since(start).Round(time.Millisecond), workers)
+	}
+	return writeReport(out, cfg.format, rows)
+}
+
+// writeReport renders the rows, sorted by name, as TSV or JSON.
+func writeReport(out io.Writer, format string, rows []row) error {
+	sorted := append([]row(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	if format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sorted)
+	}
+	if _, err := fmt.Fprintln(out, "name\tfamily\tdelta\tk\tlabels\tedge_configs\tnode_configs\tclass\tsteps\tcycle_start\tcycle_len\tlast_labels\tlast_edge_configs\tlast_node_configs\terr"); err != nil {
+		return err
+	}
+	for _, r := range sorted {
+		if _, err := fmt.Fprintf(out, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			r.Name, r.Family, r.Delta, r.K,
+			r.Labels, r.EdgeConfigs, r.NodeConfigs,
+			r.Class, r.Steps, r.CycleStart, r.CycleLen,
+			r.LastLabels, r.LastEdge, r.LastNode, r.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}

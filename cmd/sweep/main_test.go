@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// testArgs is a small, fast grid used by the in-process tests.
+func testArgs(extra ...string) []string {
+	base := []string{"-delta", "2:3", "-k", "2:2", "-max-states", "8000", "-max-steps", "2"}
+	return append(base, extra...)
+}
+
+// runSweep runs the sweep in-process and returns the report bytes.
+func runSweep(t *testing.T, args []string) []byte {
+	t.Helper()
+	cfg, err := parseFlags(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	return out.Bytes()
+}
+
+func TestReportByteIdentityColdWarmResumed(t *testing.T) {
+	for _, format := range []string{"tsv", "json"} {
+		dir := t.TempDir()
+		storeArgs := testArgs("-format", format, "-store", dir)
+
+		bare := runSweep(t, testArgs("-format", format)) // no store at all
+		cold := runSweep(t, storeArgs)                   // populates checkpoints
+		warm := runSweep(t, storeArgs)                   // all checkpoint hits
+
+		if !bytes.Equal(bare, cold) {
+			t.Fatalf("%s: store-backed cold report differs from storeless report", format)
+		}
+		if !bytes.Equal(cold, warm) {
+			t.Fatalf("%s: warm report differs from cold report", format)
+		}
+
+		// A partially populated store — what a killed sweep leaves
+		// behind — must resume into the same bytes: sweep a sub-grid
+		// into a fresh store, then the full grid over it.
+		partialDir := t.TempDir()
+		runSweep(t, []string{"-delta", "2:2", "-k", "2:2", "-max-states", "8000", "-max-steps", "2",
+			"-format", format, "-store", partialDir})
+		resumed := runSweep(t, testArgs("-format", format, "-store", partialDir))
+		if !bytes.Equal(cold, resumed) {
+			t.Fatalf("%s: resumed report differs from cold report", format)
+		}
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	want := runSweep(t, testArgs("-workers", "1"))
+	for _, w := range []string{"2", "4", "8"} {
+		if got := runSweep(t, testArgs("-workers", w)); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%s: report differs from workers=1", w)
+		}
+	}
+}
+
+// TestResumeAfterKill kills a sweeping subprocess with SIGKILL
+// mid-run, resumes it against the same store, and requires the final
+// report to be byte-identical to an uninterrupted run — the
+// checkpoint/recovery acceptance test, end to end through the real
+// binary.
+func TestResumeAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real subprocess")
+	}
+	bin := filepath.Join(t.TempDir(), "sweep")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// A grid slow enough to reliably survive until the first
+	// checkpoint is written, fast enough for a test.
+	gridArgs := []string{"-delta", "2:4", "-k", "2:2", "-max-states", "60000", "-max-steps", "3", "-workers", "1"}
+
+	uninterruptedDir := t.TempDir()
+	uninterrupted, err := exec.Command(bin, append(gridArgs, "-store", uninterruptedDir)...).Output()
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	killedDir := t.TempDir()
+	cmd := exec.Command(bin, append(gridArgs, "-store", killedDir)...)
+	cmd.Stdout = new(bytes.Buffer)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill as soon as the first checkpoint lands, so the store is
+	// mid-sweep: some tasks done, the rest missing.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		matches, _ := filepath.Glob(filepath.Join(killedDir, "objects", "*", "*.traj"))
+		if len(matches) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = cmd.Process.Signal(syscall.SIGKILL)
+	err = cmd.Wait()
+	interrupted := err != nil // false if it finished before the kill landed
+	t.Logf("subprocess interrupted mid-run: %v", interrupted)
+
+	resumed, err := exec.Command(bin, append(gridArgs, "-store", killedDir)...).Output()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !bytes.Equal(resumed, uninterrupted) {
+		t.Fatalf("resumed report differs from uninterrupted report:\n%s\nvs\n%s", resumed, uninterrupted)
+	}
+
+	// The interrupted store may contain a leftover temp file from the
+	// kill, but never a torn record: a second resume is all hits.
+	again, err := exec.Command(bin, append(gridArgs, "-store", killedDir)...).Output()
+	if err != nil {
+		t.Fatalf("second resume: %v", err)
+	}
+	if !bytes.Equal(again, uninterrupted) {
+		t.Fatal("second resume differs")
+	}
+}
+
+func TestBuildTasksGridShape(t *testing.T) {
+	cfg, err := parseFlags([]string{"-delta", "2:3", "-k", "2:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := buildTasks(cfg)
+	// 2 deltas × (1 sc + 1 so + 2 kcol + 1 weak2 + 2 superweak) = 14.
+	if len(tasks) != 14 {
+		t.Fatalf("got %d tasks, want 14", len(tasks))
+	}
+	seen := map[string]bool{}
+	for _, task := range tasks {
+		if seen[task.Name] {
+			t.Fatalf("duplicate task %s", task.Name)
+		}
+		seen[task.Name] = true
+		if task.Prob == nil {
+			t.Fatalf("%s: nil problem", task.Name)
+		}
+	}
+	for _, want := range []string{"sinkless-coloring/delta=2", "3-coloring/delta=3", "superweak/k=2,delta=3"} {
+		if !seen[want] {
+			t.Fatalf("missing task %s", want)
+		}
+	}
+
+	catalogCfg, err := parseFlags([]string{"-catalog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(buildTasks(catalogCfg)); got != 8 {
+		t.Fatalf("catalog mode: got %d tasks, want 8", got)
+	}
+}
+
+func TestParseFlagsRejectsBadInput(t *testing.T) {
+	bad := [][]string{
+		{"-format", "xml"},
+		{"-delta", "4:2"},
+		{"-delta", "0:2"},
+		{"-k", "nope"},
+		{"-families", "unknown-family"},
+		{"-max-steps", "0"},
+		{"positional"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted bad input", args)
+		}
+	}
+}

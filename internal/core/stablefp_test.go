@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSinkless(t *testing.T) *Problem {
+	t.Helper()
+	return MustParse("node:\n0^2 1\nedge:\n0 0\n0 1\n")
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	p := mustSinkless(t)
+	inputs := []*Problem{p}
+	derived, err := Speedup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, derived)
+	compact, _ := derived.RenameCompact()
+	inputs = append(inputs, compact)
+
+	for i, in := range inputs {
+		data := in.CanonicalBytes()
+		back, err := ParseCanonical(data)
+		if err != nil {
+			t.Fatalf("input %d: ParseCanonical: %v", i, err)
+		}
+		if !back.Equal(in) {
+			t.Fatalf("input %d: round trip not Equal:\n%s\nvs\n%s", i, in, back)
+		}
+		// Exactness must extend to the serialization itself.
+		if got := string(back.CanonicalBytes()); got != string(data) {
+			t.Fatalf("input %d: CanonicalBytes not a fixed point of the round trip:\n%q\nvs\n%q", i, got, data)
+		}
+		if StableKey(back) != StableKey(in) {
+			t.Fatalf("input %d: StableKey changed across the round trip", i)
+		}
+	}
+}
+
+func TestCanonicalRoundTripEdgeCases(t *testing.T) {
+	// Unused labels and empty constraints cannot pass through
+	// String/Parse, but must survive the canonical form: they are what
+	// Compress and collapsed trajectories produce.
+	alpha := MustAlphabet("A", "B", "unused")
+	node := NewConstraint(3)
+	node.MustAdd(NewConfig(Label(0), Label(0), Label(1)))
+	edge := NewConstraint(2)
+	withUnused, err := NewProblem(alpha, edge, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collapsed := &Problem{Alpha: MustAlphabet(), Edge: NewConstraint(2), Node: NewConstraint(3)}
+
+	for i, in := range []*Problem{withUnused, collapsed} {
+		back, err := ParseCanonical(in.CanonicalBytes())
+		if err != nil {
+			t.Fatalf("input %d: ParseCanonical: %v", i, err)
+		}
+		if !back.Equal(in) {
+			t.Fatalf("input %d: round trip not Equal", i)
+		}
+		if back.Alpha.Size() != in.Alpha.Size() || back.Delta() != in.Delta() {
+			t.Fatalf("input %d: sizes changed: alpha %d→%d delta %d→%d",
+				i, in.Alpha.Size(), back.Alpha.Size(), in.Delta(), back.Delta())
+		}
+	}
+}
+
+func TestStableKeySensitivity(t *testing.T) {
+	p := mustSinkless(t)
+	base := StableKey(p)
+
+	// Same constraints under renamed labels: a different exact
+	// representation, hence a different key (StableKey is not
+	// iso-invariant — that is Fingerprint's job).
+	renamed := MustParse("node:\nx^2 y\nedge:\nx x\nx y\n")
+	if StableKey(renamed) == base {
+		t.Fatal("StableKey ignored label names")
+	}
+
+	// Same problem assembled in a different configuration insertion
+	// order: identical key (Configs order is canonical).
+	alpha := MustAlphabet("0", "1")
+	edge := NewConstraint(2)
+	edge.MustAdd(NewConfig(Label(0), Label(1)))
+	edge.MustAdd(NewConfig(Label(0), Label(0)))
+	node := NewConstraint(3)
+	node.MustAdd(NewConfig(Label(0), Label(0), Label(1)))
+	reordered, err := NewProblem(alpha, edge, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StableKey(reordered) != base {
+		t.Fatal("StableKey depends on configuration insertion order")
+	}
+
+	// An extra unused label is a different representation.
+	bigger := &Problem{Alpha: MustAlphabet("0", "1", "2"), Edge: p.Edge, Node: p.Node}
+	if StableKey(bigger) == base {
+		t.Fatal("StableKey ignored unused alphabet labels")
+	}
+}
+
+// TestStableKeyGolden pins the exact key bytes of a fixed problem. A
+// failure here means persisted stores are silently invalidated: either
+// restore the serialization, or bump FingerprintVersion and update this
+// golden value.
+func TestStableKeyGolden(t *testing.T) {
+	if FingerprintVersion != 1 {
+		t.Skip("golden value recorded at FingerprintVersion 1")
+	}
+	got := StableKey(mustSinkless(t)).String()
+	const want = "4e891226f8618e28fdb470e37a8542d604c59b9b885c9bc0d07a61c0eee93f9d"
+	if got != want {
+		t.Fatalf("StableKey(sinkless Δ=3) = %s, want %s", got, want)
+	}
+}
+
+func TestParseCanonicalRejectsGarbage(t *testing.T) {
+	p := mustSinkless(t)
+	good := string(p.CanonicalBytes())
+	bad := []string{
+		"",
+		"repro-problem v2\ndelta: 3\nalphabet: 0 1\nnode: 0\nedge: 0\n",
+		strings.Replace(good, "delta: 3", "delta: 0", 1),
+		strings.Replace(good, "node: 1", "node: 5", 1),
+		good + "trailing\n",
+		strings.Replace(good, "0^2 1", "0^2 9", 1),
+	}
+	for i, text := range bad {
+		if _, err := ParseCanonical([]byte(text)); err == nil {
+			t.Errorf("input %d: ParseCanonical accepted malformed input", i)
+		}
+	}
+}

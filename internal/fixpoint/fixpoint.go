@@ -28,6 +28,7 @@ package fixpoint
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -80,6 +81,72 @@ type Options struct {
 	// Core options are forwarded to every core.Speedup call (worker
 	// count, strategy, state budget).
 	Core []core.Option
+	// Memo, when non-nil, caches speedup steps across runs (and across
+	// processes, when backed by a persistent store). A hit replaces the
+	// core.Speedup call entirely; because the transformation is a
+	// deterministic function of the exact input representation, the
+	// trajectory — and hence every classification and printed byte — is
+	// identical with and without a memo. A memo hit spends no state
+	// budget, so for the identity to hold the memo must be scoped to
+	// the WithMaxStates budget in Core: never serve steps cached under
+	// one budget to a run under another (store-backed memos fold the
+	// budget into the record key; a MapMemo must simply not be reused
+	// across budgets).
+	Memo Memo
+}
+
+// Memo is a pluggable cache of speedup steps, keyed by the exact input
+// problem representation. Implementations must return, for a given
+// input, exactly the compact-renamed problem a cold
+// core.Speedup + RenameCompact would produce (store-backed memos
+// guarantee this by keying on core.StableKey and round-tripping through
+// the canonical serialization). Lookup failures of any kind must
+// surface as a miss — a memo may only ever accelerate a run, never
+// change or fail it. Implementations must be safe for concurrent use;
+// Run may be invoked from many goroutines sharing one memo.
+type Memo interface {
+	// LookupStep returns the memoized compact derived problem of in.
+	LookupStep(in *core.Problem) (*core.Problem, bool)
+	// StoreStep records that one speedup step maps in to out.
+	StoreStep(in, out *core.Problem)
+}
+
+// MapMemo is the trivial in-process Memo: a mutex-guarded map keyed by
+// the canonical serialization. Use it to share steps across the many
+// Run calls of one batch process (trajectories of related problems
+// frequently pass through identical intermediate problems); use a
+// store-backed memo to share them across processes. Scope one MapMemo
+// to one WithMaxStates budget — see Options.Memo.
+type MapMemo struct {
+	mu sync.RWMutex
+	m  map[string]*core.Problem
+}
+
+// NewMapMemo returns an empty in-memory memo.
+func NewMapMemo() *MapMemo {
+	return &MapMemo{m: make(map[string]*core.Problem)}
+}
+
+// LookupStep returns the memoized compact derived problem of in.
+func (m *MapMemo) LookupStep(in *core.Problem) (*core.Problem, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out, ok := m.m[string(in.CanonicalBytes())]
+	return out, ok
+}
+
+// StoreStep records that one speedup step maps in to out.
+func (m *MapMemo) StoreStep(in, out *core.Problem) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m[string(in.CanonicalBytes())] = out
+}
+
+// Len reports the number of memoized steps.
+func (m *MapMemo) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.m)
 }
 
 // DefaultMaxSteps bounds the iteration when Options.MaxSteps is unset.
@@ -152,16 +219,25 @@ func Run(p *core.Problem, opts Options) (*Result, error) {
 
 	cur := start
 	for step := 1; step <= maxSteps; step++ {
-		next, err := core.Speedup(cur, opts.Core...)
-		if err != nil {
-			if errors.Is(err, core.ErrStateBudget) {
-				res.Kind = BudgetExceeded
-				res.Err = err
-				return res, nil
-			}
-			return nil, err
+		next, hit := (*core.Problem)(nil), false
+		if opts.Memo != nil {
+			next, hit = opts.Memo.LookupStep(cur)
 		}
-		next, _ = next.RenameCompact()
+		if !hit {
+			derived, err := core.Speedup(cur, opts.Core...)
+			if err != nil {
+				if errors.Is(err, core.ErrStateBudget) {
+					res.Kind = BudgetExceeded
+					res.Err = err
+					return res, nil
+				}
+				return nil, err
+			}
+			next, _ = derived.RenameCompact()
+			if opts.Memo != nil {
+				opts.Memo.StoreStep(cur, next)
+			}
+		}
 		res.Trajectory = append(res.Trajectory, next)
 		res.Steps = step
 

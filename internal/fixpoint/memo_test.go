@@ -1,0 +1,58 @@
+package fixpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixpoint"
+	"repro/internal/problems"
+)
+
+// TestMapMemoByteIdentity locks the Memo contract on the in-memory
+// implementation: with a memo (cold and warm) and without one, Run
+// produces byte-identical trajectories and classifications.
+func TestMapMemoByteIdentity(t *testing.T) {
+	memo := fixpoint.NewMapMemo()
+	opts := func(m fixpoint.Memo) fixpoint.Options {
+		return fixpoint.Options{
+			MaxSteps: 3,
+			Core:     []core.Option{core.WithMaxStates(8_000), core.WithWorkers(1)},
+			Memo:     m,
+		}
+	}
+	for _, entry := range problems.Catalog() {
+		bare, err := fixpoint.Run(entry.Problem, opts(nil))
+		if err != nil {
+			t.Fatalf("%s: bare: %v", entry.Name, err)
+		}
+		cold, err := fixpoint.Run(entry.Problem, opts(memo))
+		if err != nil {
+			t.Fatalf("%s: cold memo: %v", entry.Name, err)
+		}
+		warm, err := fixpoint.Run(entry.Problem, opts(memo))
+		if err != nil {
+			t.Fatalf("%s: warm memo: %v", entry.Name, err)
+		}
+		for _, pair := range []struct {
+			name string
+			res  *fixpoint.Result
+		}{{"cold", cold}, {"warm", warm}} {
+			if pair.res.Kind != bare.Kind || pair.res.Steps != bare.Steps ||
+				pair.res.CycleStart != bare.CycleStart || pair.res.CycleLen != bare.CycleLen {
+				t.Fatalf("%s: %s run classified %v/%d, bare %v/%d",
+					entry.Name, pair.name, pair.res.Kind, pair.res.Steps, bare.Kind, bare.Steps)
+			}
+			if len(pair.res.Trajectory) != len(bare.Trajectory) {
+				t.Fatalf("%s: %s trajectory length differs", entry.Name, pair.name)
+			}
+			for i := range bare.Trajectory {
+				if string(pair.res.Trajectory[i].CanonicalBytes()) != string(bare.Trajectory[i].CanonicalBytes()) {
+					t.Fatalf("%s: %s trajectory entry %d differs", entry.Name, pair.name, i)
+				}
+			}
+		}
+	}
+	if memo.Len() == 0 {
+		t.Fatal("memo stayed empty across the catalog")
+	}
+}

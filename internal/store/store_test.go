@@ -1,0 +1,220 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixpoint"
+	"repro/internal/problems"
+)
+
+func sinkless(t *testing.T) *core.Problem {
+	t.Helper()
+	return core.MustParse("node:\n0^2 1\nedge:\n0 0\n0 1\n")
+}
+
+func openTemp(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStepRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	in := sinkless(t)
+
+	if _, ok, err := s.GetStep(in, 0); ok || err != nil {
+		t.Fatalf("empty store: GetStep = (_, %v, %v), want miss", ok, err)
+	}
+
+	derived, err := core.Speedup(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := derived.RenameCompact()
+	if err := s.PutStep(in, out, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := s.GetStep(in, 0)
+	if err != nil || !ok {
+		t.Fatalf("GetStep = (_, %v, %v), want hit", ok, err)
+	}
+	if !got.Equal(out) {
+		t.Fatalf("GetStep returned a different problem:\n%s\nvs\n%s", got, out)
+	}
+	if string(got.CanonicalBytes()) != string(out.CanonicalBytes()) {
+		t.Fatal("GetStep output is not byte-identical to what was stored")
+	}
+
+	// The Memo adapter sees the same hit.
+	if memoOut, ok := s.StepMemo(0).LookupStep(in); !ok || !memoOut.Equal(out) {
+		t.Fatal("LookupStep does not match GetStep")
+	}
+	// A different problem is a miss.
+	if _, ok, err := s.GetStep(out, 0); ok || err != nil {
+		t.Fatalf("GetStep(other) = (_, %v, %v), want miss", ok, err)
+	}
+	// The same problem under a different state budget is a miss: steps
+	// cached under one budget must never answer for another.
+	if _, ok, err := s.GetStep(in, 100); ok || err != nil {
+		t.Fatalf("GetStep(other budget) = (_, %v, %v), want miss", ok, err)
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	par := TrajectoryParams{MaxSteps: 16}
+
+	for _, entry := range []problems.Entry{
+		{Name: "sinkless-coloring/delta=3", Problem: problems.SinklessColoring(3)},
+		{Name: "sinkless-orientation/delta=3", Problem: problems.SinklessOrientation(3)},
+	} {
+		res, err := fixpoint.Run(entry.Problem, fixpoint.Options{MaxSteps: par.MaxSteps})
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		if _, ok, err := s.GetTrajectory(entry.Problem, par); ok || err != nil {
+			t.Fatalf("%s: unexpected hit before put", entry.Name)
+		}
+		if err := s.PutTrajectory(entry.Problem, par, res); err != nil {
+			t.Fatalf("%s: put: %v", entry.Name, err)
+		}
+		got, ok, err := s.GetTrajectory(entry.Problem, par)
+		if err != nil || !ok {
+			t.Fatalf("%s: GetTrajectory = (_, %v, %v), want hit", entry.Name, ok, err)
+		}
+		if got.Kind != res.Kind || got.Steps != res.Steps ||
+			got.CycleStart != res.CycleStart || got.CycleLen != res.CycleLen {
+			t.Fatalf("%s: classification changed across the round trip: %+v vs %+v", entry.Name, got, res)
+		}
+		if len(got.Trajectory) != len(res.Trajectory) {
+			t.Fatalf("%s: trajectory length %d, want %d", entry.Name, len(got.Trajectory), len(res.Trajectory))
+		}
+		for i := range got.Trajectory {
+			if string(got.Trajectory[i].CanonicalBytes()) != string(res.Trajectory[i].CanonicalBytes()) {
+				t.Fatalf("%s: trajectory entry %d not byte-identical", entry.Name, i)
+			}
+		}
+		if len(got.Witness) != len(res.Witness) {
+			t.Fatalf("%s: witness size %d, want %d", entry.Name, len(got.Witness), len(res.Witness))
+		}
+		for from, to := range res.Witness {
+			if got.Witness[from] != to {
+				t.Fatalf("%s: witness disagrees at %d", entry.Name, from)
+			}
+		}
+		// Different params miss.
+		if _, ok, _ := s.GetTrajectory(entry.Problem, TrajectoryParams{MaxSteps: par.MaxSteps + 1}); ok {
+			t.Fatalf("%s: hit under different params", entry.Name)
+		}
+	}
+}
+
+func TestTrajectoryBudgetExceededRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	// A tiny state budget forces BudgetExceeded with a non-nil Err.
+	par := TrajectoryParams{MaxSteps: 16, MaxStates: 1}
+	p := problems.WeakTwoColoringPointer(3)
+	res, err := fixpoint.Run(p, fixpoint.Options{
+		MaxSteps: par.MaxSteps,
+		Core:     []core.Option{core.WithMaxStates(par.MaxStates)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != fixpoint.BudgetExceeded || res.Err == nil {
+		t.Fatalf("setup: Kind=%v Err=%v, want BudgetExceeded with error", res.Kind, res.Err)
+	}
+	if err := s.PutTrajectory(p, par, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.GetTrajectory(p, par)
+	if err != nil || !ok {
+		t.Fatalf("GetTrajectory = (_, %v, %v), want hit", ok, err)
+	}
+	if got.Kind != fixpoint.BudgetExceeded {
+		t.Fatalf("Kind = %v, want BudgetExceeded", got.Kind)
+	}
+	if got.Err == nil || got.Err.Error() != res.Err.Error() {
+		t.Fatalf("Err = %v, want %v", got.Err, res.Err)
+	}
+	if !errors.Is(got.Err, core.ErrStateBudget) {
+		t.Fatal("restored error lost errors.Is(core.ErrStateBudget)")
+	}
+}
+
+// TestMemoHitMatchesColdRun pins the memo contract end to end: a
+// fixpoint run whose every step comes from the store is byte-identical
+// to the cold run that populated it. Budgets match the golden-test
+// bounds — several catalog trajectories grow without bound and are
+// meant to exhaust the budget deterministically.
+func TestMemoHitMatchesColdRun(t *testing.T) {
+	s := openTemp(t)
+	maxStates := 60_000
+	if testing.Short() {
+		maxStates = 8_000
+	}
+	opts := func(memo fixpoint.Memo) fixpoint.Options {
+		return fixpoint.Options{
+			MaxSteps: 3,
+			Core:     []core.Option{core.WithMaxStates(maxStates), core.WithWorkers(1)},
+			Memo:     memo,
+		}
+	}
+	memo := s.StepMemo(maxStates)
+	for _, entry := range problems.Catalog() {
+		cold, err := fixpoint.Run(entry.Problem, opts(memo))
+		if err != nil {
+			t.Fatalf("%s: cold: %v", entry.Name, err)
+		}
+		warm, err := fixpoint.Run(entry.Problem, opts(memo))
+		if err != nil {
+			t.Fatalf("%s: warm: %v", entry.Name, err)
+		}
+		if warm.Kind != cold.Kind || warm.Steps != cold.Steps ||
+			warm.CycleStart != cold.CycleStart || warm.CycleLen != cold.CycleLen {
+			t.Fatalf("%s: warm classification differs: %+v vs %+v", entry.Name, warm, cold)
+		}
+		for i := range cold.Trajectory {
+			if string(warm.Trajectory[i].CanonicalBytes()) != string(cold.Trajectory[i].CanonicalBytes()) {
+				t.Fatalf("%s: warm trajectory entry %d differs", entry.Name, i)
+			}
+		}
+		// And both match the memo-less run.
+		bare, err := fixpoint.Run(entry.Problem, opts(nil))
+		if err != nil {
+			t.Fatalf("%s: bare: %v", entry.Name, err)
+		}
+		if bare.Kind != cold.Kind || bare.Steps != cold.Steps {
+			t.Fatalf("%s: memo changed the classification", entry.Name)
+		}
+		for i := range bare.Trajectory {
+			if string(bare.Trajectory[i].CanonicalBytes()) != string(cold.Trajectory[i].CanonicalBytes()) {
+				t.Fatalf("%s: memo changed trajectory entry %d", entry.Name, i)
+			}
+		}
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+// stepObjectPath returns the on-disk path of the single .step record in
+// the store, for the corruption tests.
+func stepObjectPath(t *testing.T, s *Store) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(s.Root(), "objects", "*", "*.step"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one step object, got %v (%v)", matches, err)
+	}
+	return matches[0]
+}

@@ -1,0 +1,222 @@
+// Command docgate is the CI documentation gate. It enforces two
+// invariants that go vet does not:
+//
+//  1. Every exported identifier (type, function, method, and each name
+//     in an exported const/var group) in the packages given as
+//     arguments carries a doc comment that mentions the identifier or
+//     belongs to a commented group declaration.
+//  2. The README "Commands" table lists exactly the commands present
+//     under cmd/ (pass -readme README.md -cmds cmd to enable).
+//
+// Usage:
+//
+//	docgate [-readme README.md -cmds cmd] ./internal/core ./internal/intern ...
+//
+// Exit status is non-zero if any check fails; every violation is
+// printed as file:line: message so editors and CI logs can jump to it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	readme := flag.String("readme", "", "README file whose Commands table must match -cmds (empty = skip)")
+	cmds := flag.String("cmds", "", "directory of command packages to check against -readme")
+	flag.Parse()
+
+	bad := 0
+	for _, dir := range flag.Args() {
+		violations, err := checkPackageDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docgate:", err)
+			os.Exit(2)
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		bad += len(violations)
+	}
+	if *readme != "" && *cmds != "" {
+		violations, err := checkReadmeCommands(*readme, *cmds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docgate:", err)
+			os.Exit(2)
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		bad += len(violations)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docgate: %d violation(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkPackageDir parses every non-test .go file in dir and returns one
+// "file:line: ..." string per undocumented exported identifier.
+func checkPackageDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, name, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	reportForm := func(pos token.Pos, name, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: doc comment of exported %s %s should start with %q", p.Filename, p.Line, what, name, name))
+	}
+	check := func(pos token.Pos, name, what, doc string) {
+		if doc == "" {
+			report(pos, name, what)
+		} else if !startsWithName(doc, name) {
+			reportForm(pos, name, what)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					what := "function"
+					if d.Recv != nil {
+						what = "method"
+					}
+					check(d.Pos(), d.Name.Name, what, d.Doc.Text())
+				case *ast.GenDecl:
+					checkGenDecl(d, check)
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// startsWithName reports whether a doc comment opens with the
+// identifier it documents, optionally preceded by an article — the
+// godoc convention that makes each comment read standalone in listings.
+func startsWithName(doc, name string) bool {
+	for _, article := range []string{"", "A ", "An ", "The "} {
+		if strings.HasPrefix(doc, article+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverExported reports whether a method's receiver type is itself
+// exported; methods on unexported types are not part of the API surface.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkGenDecl walks a type/const/var declaration. A doc comment on the
+// group declaration covers all its specs (any form); an individual spec
+// comment must follow the starts-with-name convention for types and
+// merely exist for const/var names (grouped enumerations conventionally
+// share prose).
+func checkGenDecl(d *ast.GenDecl, check func(token.Pos, string, string, string)) {
+	groupDoc := d.Doc.Text() != ""
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc.Text()
+			if doc == "" && groupDoc {
+				doc = d.Doc.Text()
+			}
+			check(s.Pos(), s.Name.Name, "type", doc)
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc.Text() != "" || s.Comment.Text() != "" {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					check(s.Pos(), name.Name, kindOf(d.Tok), "")
+				}
+			}
+		}
+	}
+}
+
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// checkReadmeCommands verifies the README Commands table rows
+// (`cmd/<name>`) are exactly the directories under cmdsDir.
+func checkReadmeCommands(readme, cmdsDir string) ([]string, error) {
+	data, err := os.ReadFile(readme)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(cmdsDir)
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() {
+			want[e.Name()] = true
+		}
+	}
+	// Table rows look like: | `cmd/speedup` | ... |
+	re := regexp.MustCompile("(?m)^\\|\\s*`cmd/([a-z0-9_-]+)`")
+	got := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+		got[m[1]] = true
+	}
+	var out []string
+	for name := range want {
+		if !got[name] {
+			out = append(out, fmt.Sprintf("%s: command table is missing `%s`", readme, filepath.Join(cmdsDir, name)))
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			out = append(out, fmt.Sprintf("%s: command table lists `cmd/%s` which does not exist", readme, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
