@@ -6,7 +6,12 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/algorithms"
@@ -18,6 +23,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/oracle"
 	"repro/internal/problems"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/solve"
 	"repro/internal/store"
@@ -730,4 +736,95 @@ func solveRestricted(b *testing.B, g *graph.Graph, half, full *core.Problem) *si
 		b.Fatalf("restricted solve failed: ok=%v err=%v", ok, err)
 	}
 	return sol
+}
+
+// e14FixpointBody is the E14 request body: the sinkless-coloring Δ=3
+// fixpoint trajectory, the service's flagship query.
+const e14FixpointBody = `{"problem":"node:\n0^2 1\nedge:\n0 0\n0 1\n"}`
+
+// e14Server starts a service HTTP server over a store dir ("" =
+// memory-only), registering cleanup with the benchmark.
+func e14Server(b *testing.B, dir string) *httptest.Server {
+	b.Helper()
+	engine, err := service.New(service.Config{StoreDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(engine.Close)
+	srv := httptest.NewServer(service.Handler(engine))
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// e14Post issues one benchmark request and fails on a non-200.
+func e14Post(b *testing.B, url string) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/fixpoint", "application/json", strings.NewReader(e14FixpointBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("HTTP %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkE14ServiceThroughput: the E14 pair, part one — one fixpoint
+// query per iteration through the full HTTP stack (request parse,
+// singleflight, engine or cache, NDJSON render). cold-store pays the
+// full engine run into a fresh store every iteration; warm-store
+// replays the persisted trajectory; warm-memory bounds the best case
+// (in-process cache, no disk). ns/op inverts to requests/sec; bodies
+// are byte-identical across all three (locked by
+// TestColdWarmByteIdentity).
+func BenchmarkE14ServiceThroughput(b *testing.B) {
+	b.Run("fixpoint/cold-store", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			srv := e14Server(b, filepath.Join(b.TempDir(), fmt.Sprintf("cold-%d", i)))
+			b.StartTimer()
+			e14Post(b, srv.URL)
+			b.StopTimer()
+			srv.Close()
+			b.StartTimer()
+		}
+	})
+	b.Run("fixpoint/warm-store", func(b *testing.B) {
+		srv := e14Server(b, filepath.Join(b.TempDir(), "warm"))
+		e14Post(b, srv.URL) // prime the store
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e14Post(b, srv.URL)
+		}
+	})
+	b.Run("fixpoint/warm-memory", func(b *testing.B) {
+		srv := e14Server(b, "")
+		e14Post(b, srv.URL) // prime the in-process cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e14Post(b, srv.URL)
+		}
+	})
+}
+
+// BenchmarkE14ServiceConcurrent: the E14 pair, part two — the same
+// warm-store query under client concurrency (RunParallel saturates
+// GOMAXPROCS workers), measuring how the read path scales when every
+// request hits the store.
+func BenchmarkE14ServiceConcurrent(b *testing.B) {
+	srv := e14Server(b, filepath.Join(b.TempDir(), "warm"))
+	e14Post(b, srv.URL)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			e14Post(b, srv.URL)
+		}
+	})
 }

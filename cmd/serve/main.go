@@ -1,0 +1,146 @@
+// Command serve is the round-elimination query daemon: a long-running
+// HTTP/JSON service exposing the speedup engine, the iterated fixpoint
+// driver, the brute-force solvability oracle and the paper catalog,
+// with the persistent result store as its cache.
+//
+// Usage:
+//
+//	serve [-addr :8089] [-store dir] [-workers n] [-max-inflight n]
+//	      [-grace 15s] [-v]
+//
+// Endpoints (full request/response schemas in the README, "The
+// service"):
+//
+//	POST /v1/speedup   one or more full speedup steps, or the half step
+//	POST /v1/fixpoint  classified trajectory, streamed as NDJSON
+//	POST /v1/verify    oracle verdict / conformance report
+//	GET  /v1/catalog   the paper's problem catalog
+//
+// Identical queries arriving concurrently share one computation
+// (singleflight on the stable problem key); finished results are
+// committed to the store under -store and replayed from it in
+// microseconds, byte-identical to a cold computation. -max-inflight
+// bounds how many engine computations run at once (admission control;
+// warm store hits bypass it), and -workers sizes the worker pool
+// inside each computation.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and gives
+// in-flight requests -grace to finish; whatever a fixpoint iteration
+// completed by then is already checkpointed in the store's step memo,
+// so a restarted daemon answers the interrupted query byte-identically
+// to an uninterrupted run, resuming from the committed steps — the
+// same contract as cmd/sweep's kill -9 resume.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8089", "listen address")
+	storeDir := flag.String("store", "", "persistent result store directory (empty = memory-only warmth)")
+	workers := flag.Int("workers", 0, "worker count inside each engine computation (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent engine computations admitted (0 = GOMAXPROCS)")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
+	verbose := flag.Bool("v", false, "request logging on stderr")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "serve: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if err := run(*addr, *storeDir, *workers, *maxInflight, *grace, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until a termination signal, then drains gracefully.
+func run(addr, storeDir string, workers, maxInflight int, grace time.Duration, verbose bool) error {
+	engine, err := service.New(service.Config{
+		StoreDir:    storeDir,
+		Workers:     workers,
+		MaxInflight: maxInflight,
+	})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	handler := service.Handler(engine)
+	if verbose {
+		handler = logRequests(handler, os.Stderr)
+	}
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: handler,
+		// A public daemon must not let stalled clients pin goroutines:
+		// bound header and body reads and idle keep-alives. No
+		// WriteTimeout — /v1/fixpoint legitimately streams for as long
+		// as the engine computes.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (store: %s)\n", ln.Addr(), storeLabel(storeDir))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "serve: shutting down (grace %v)\n", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Grace expired: close the engine so in-flight fixpoint
+		// iterations stop at their next step boundary — their
+		// completed steps are already committed to the store, which is
+		// what a restarted daemon resumes from.
+		engine.Close()
+		_ = srv.Close()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return nil
+}
+
+// storeLabel names the warm tier for the startup log line.
+func storeLabel(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return dir
+}
+
+// logRequests wraps the handler with a method/path/duration log line
+// per request. Logging goes to stderr and never into response bodies —
+// timing in a body would break the cold/warm byte-identity contract.
+func logRequests(next http.Handler, w *os.File) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(rw, r)
+		fmt.Fprintf(w, "serve: %s %s %.1fms\n", r.Method, r.URL.Path, float64(time.Since(start).Microseconds())/1000)
+	})
+}

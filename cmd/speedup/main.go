@@ -1,6 +1,8 @@
 // Command speedup applies the automatic speedup transformation of Brandt
-// (PODC 2019) to a problem given in the text format of core.Parse, read
-// from a file or stdin, and prints the derived problem(s).
+// (PODC 2019) to a problem given in the text format of core.Parse — or
+// the canonical serialization emitted by the result store and the HTTP
+// service — read from a file or stdin, and prints the derived
+// problem(s).
 //
 // Usage:
 //
@@ -32,7 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fixpoint"
-	"repro/internal/store"
+	"repro/internal/service"
 )
 
 func main() {
@@ -63,10 +65,11 @@ func main() {
 }
 
 // validateFlags rejects flag combinations the -fixpoint driver would
-// silently ignore, rather than dropping them.
+// silently ignore, rather than dropping them. The budget domain is the
+// service layer's, so CLI and HTTP accept the same values.
 func validateFlags(fixpointMode bool, maxSteps int) error {
-	if maxSteps < 1 {
-		return fmt.Errorf("-max-steps must be >= 1, got %d", maxSteps)
+	if err := service.ValidateBudgets(maxSteps, 0); err != nil {
+		return fmt.Errorf("-max-steps: %v", err)
 	}
 	var conflict error
 	flag.Visit(func(f *flag.Flag) {
@@ -99,7 +102,9 @@ func run(o options, path string) error {
 	if err != nil {
 		return err
 	}
-	p, err := core.Parse(text)
+	// ParseAuto also accepts the canonical serialization the result
+	// store and the HTTP service emit, so their output feeds back in.
+	p, err := core.ParseAuto(text)
 	if err != nil {
 		return err
 	}
@@ -144,15 +149,11 @@ func run(o options, path string) error {
 }
 
 func runFixpoint(p *core.Problem, o options, coreOpts []core.Option) error {
-	var memo fixpoint.Memo
-	if o.storeDir != "" {
-		st, err := store.Open(o.storeDir)
-		if err != nil {
-			return err
-		}
-		// This command never overrides WithMaxStates, so its steps are
-		// cached under the engine-default budget (0).
-		memo = st.StepMemo(0)
+	// This command never overrides WithMaxStates, so its steps are
+	// cached under the engine-default budget (0).
+	memo, _, err := service.OpenStepMemo(o.storeDir, 0)
+	if err != nil {
+		return err
 	}
 	res, err := fixpoint.Run(p, fixpoint.Options{MaxSteps: o.maxSteps, Core: coreOpts, Memo: memo})
 	if err != nil {

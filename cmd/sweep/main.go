@@ -50,6 +50,7 @@ import (
 	"repro/internal/fixpoint"
 	"repro/internal/par"
 	"repro/internal/problems"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -97,15 +98,6 @@ type config struct {
 	verbose     bool
 }
 
-// allFamilies lists the sweepable problem families in grid order.
-var allFamilies = []string{
-	"sinkless-coloring",
-	"sinkless-orientation",
-	"k-coloring",
-	"weak2-pointer",
-	"superweak",
-}
-
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	cfg := config{}
@@ -114,7 +106,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.coreWorkers, "core-workers", 1, "worker count inside each speedup step (tasks are already parallel)")
 	fs.IntVar(&cfg.maxSteps, "max-steps", 4, "fixpoint iteration bound per task")
 	fs.IntVar(&cfg.maxStates, "max-states", 60_000, "per-step enumeration state budget (0 = engine default)")
-	families := fs.String("families", strings.Join(allFamilies, ","), "comma-separated families to sweep")
+	families := fs.String("families", strings.Join(problems.Families(), ","), "comma-separated families to sweep")
 	delta := fs.String("delta", "2:4", "Δ range lo:hi (inclusive)")
 	k := fs.String("k", "2:3", "k range lo:hi (inclusive; k-coloring and superweak)")
 	fs.BoolVar(&cfg.catalog, "catalog", false, "sweep exactly the paper's problems.Catalog() instead of the grid")
@@ -142,11 +134,10 @@ func parseFlags(args []string) (config, error) {
 	if cfg.format != "tsv" && cfg.format != "json" {
 		return cfg, fmt.Errorf("-format must be tsv or json, got %q", cfg.format)
 	}
-	if cfg.maxSteps < 1 {
-		return cfg, fmt.Errorf("-max-steps must be >= 1, got %d", cfg.maxSteps)
-	}
-	if cfg.maxStates < 0 {
-		return cfg, fmt.Errorf("-max-states must be >= 0, got %d", cfg.maxStates)
+	// The budget domain is the service layer's, so the sweep accepts
+	// exactly what cmd/speedup and the HTTP endpoints accept.
+	if err := service.ValidateBudgets(cfg.maxSteps, cfg.maxStates); err != nil {
+		return cfg, err
 	}
 	var err error
 	if cfg.deltaLo, cfg.deltaHi, err = parseRange(*delta); err != nil {
@@ -160,8 +151,8 @@ func parseFlags(args []string) (config, error) {
 		if f == "" {
 			continue
 		}
-		if !slices.Contains(allFamilies, f) {
-			return cfg, fmt.Errorf("unknown family %q (have %s)", f, strings.Join(allFamilies, ", "))
+		if !slices.Contains(problems.Families(), f) {
+			return cfg, fmt.Errorf("unknown family %q (have %s)", f, strings.Join(problems.Families(), ", "))
 		}
 		cfg.families = append(cfg.families, f)
 	}
@@ -190,99 +181,15 @@ func parseRange(s string) (lo, hi int, err error) {
 	return lo, hi, nil
 }
 
-// task is one grid point: an instantiated problem plus its identity.
-type task struct {
-	Name   string
-	Family string
-	Delta  int
-	K      int // 0 when the family has no k parameter
-	Prob   *core.Problem
-}
-
 // buildTasks expands the configured grid (or the fixed catalog) into
 // the deterministic task list that defines both the sharding and the
-// report row order.
-func buildTasks(cfg config) []task {
+// report row order. The expansion itself lives in problems.Grid, shared
+// with every other grid consumer.
+func buildTasks(cfg config) ([]problems.GridPoint, error) {
 	if cfg.catalog {
-		var tasks []task
-		for _, e := range problems.Catalog() {
-			tasks = append(tasks, task{Name: e.Name, Family: familyOf(e.Name), Delta: e.Problem.Delta(), K: kOf(e.Name), Prob: e.Problem})
-		}
-		return tasks
+		return problems.CatalogGrid(), nil
 	}
-	var tasks []task
-	for _, family := range cfg.families {
-		for delta := cfg.deltaLo; delta <= cfg.deltaHi; delta++ {
-			switch family {
-			case "sinkless-coloring":
-				tasks = append(tasks, task{
-					Name:   fmt.Sprintf("sinkless-coloring/delta=%d", delta),
-					Family: family, Delta: delta,
-					Prob: problems.SinklessColoring(delta),
-				})
-			case "sinkless-orientation":
-				tasks = append(tasks, task{
-					Name:   fmt.Sprintf("sinkless-orientation/delta=%d", delta),
-					Family: family, Delta: delta,
-					Prob: problems.SinklessOrientation(delta),
-				})
-			case "weak2-pointer":
-				tasks = append(tasks, task{
-					Name:   fmt.Sprintf("weak2-pointer/delta=%d", delta),
-					Family: family, Delta: delta,
-					Prob: problems.WeakTwoColoringPointer(delta),
-				})
-			case "k-coloring":
-				for k := cfg.kLo; k <= cfg.kHi; k++ {
-					tasks = append(tasks, task{
-						Name:   fmt.Sprintf("%d-coloring/delta=%d", k, delta),
-						Family: family, Delta: delta, K: k,
-						Prob: problems.KColoring(k, delta),
-					})
-				}
-			case "superweak":
-				for k := cfg.kLo; k <= cfg.kHi; k++ {
-					if k < 2 { // the problem is defined for k >= 2
-						continue
-					}
-					tasks = append(tasks, task{
-						Name:   fmt.Sprintf("superweak/k=%d,delta=%d", k, delta),
-						Family: family, Delta: delta, K: k,
-						Prob: problems.Superweak(k, delta),
-					})
-				}
-			}
-		}
-	}
-	return tasks
-}
-
-// familyOf recovers the family segment of a catalog name.
-func familyOf(name string) string {
-	if i := strings.IndexByte(name, '/'); i >= 0 {
-		name = name[:i]
-	}
-	if strings.HasSuffix(name, "-coloring") && name != "sinkless-coloring" {
-		return "k-coloring"
-	}
-	return name
-}
-
-// kOf recovers the k parameter of a catalog name ("3-coloring/...",
-// ".../k=2,..."); 0 for families without one, matching grid tasks.
-func kOf(name string) int {
-	if i := strings.Index(name, "k="); i >= 0 {
-		var k int
-		if _, err := fmt.Sscanf(name[i:], "k=%d", &k); err == nil {
-			return k
-		}
-	}
-	if familyOf(name) == "k-coloring" {
-		if k, err := strconv.Atoi(name[:strings.IndexByte(name, '-')]); err == nil {
-			return k
-		}
-	}
-	return 0
+	return problems.Grid(cfg.families, cfg.deltaLo, cfg.deltaHi, cfg.kLo, cfg.kHi)
 }
 
 // row is one report line. Every field is a pure function of the task
@@ -307,8 +214,8 @@ type row struct {
 }
 
 // makeRow condenses a classified trajectory into its report line.
-func makeRow(t task, res *fixpoint.Result) row {
-	in := t.Prob.Stats()
+func makeRow(t problems.GridPoint, res *fixpoint.Result) row {
+	in := t.Problem.Stats()
 	last := res.Last().Stats()
 	r := row{
 		Name: t.Name, Family: t.Family, Delta: t.Delta, K: t.K,
@@ -327,21 +234,17 @@ func makeRow(t task, res *fixpoint.Result) row {
 // checkpoints permitting), and write the report to out. Progress goes
 // to errw when verbose.
 func run(cfg config, out, errw io.Writer) error {
-	tasks := buildTasks(cfg)
+	tasks, err := buildTasks(cfg)
+	if err != nil {
+		return err
+	}
 	if len(tasks) == 0 {
 		return fmt.Errorf("empty grid")
 	}
 
-	var st *store.Store
-	var memo fixpoint.Memo
-	if cfg.storeDir != "" {
-		var err error
-		if st, err = store.Open(cfg.storeDir); err != nil {
-			return err
-		}
-		memo = st.StepMemo(cfg.maxStates)
-	} else {
-		memo = fixpoint.NewMapMemo()
+	memo, st, err := service.OpenStepMemo(cfg.storeDir, cfg.maxStates)
+	if err != nil {
+		return err
 	}
 	params := store.TrajectoryParams{MaxSteps: cfg.maxSteps, MaxStates: cfg.maxStates}
 	coreOpts := []core.Option{core.WithWorkers(cfg.coreWorkers)}
@@ -352,10 +255,10 @@ func run(cfg config, out, errw io.Writer) error {
 	rows := make([]row, len(tasks))
 	workers := par.WorkerCount(cfg.workers, len(tasks))
 	start := time.Now()
-	err := par.RunSharded(workers, len(tasks), func(_, i int) error {
+	err = par.RunSharded(workers, len(tasks), func(_, i int) error {
 		t := tasks[i]
 		if st != nil {
-			if res, ok, err := st.GetTrajectory(t.Prob, params); ok {
+			if res, ok, err := st.GetTrajectory(t.Problem, params); ok {
 				rows[i] = makeRow(t, res)
 				if cfg.verbose {
 					fmt.Fprintf(errw, "sweep: %-32s checkpoint hit\n", t.Name)
@@ -366,7 +269,7 @@ func run(cfg config, out, errw io.Writer) error {
 			}
 		}
 		taskStart := time.Now()
-		res, err := fixpoint.Run(t.Prob, fixpoint.Options{
+		res, err := fixpoint.Run(t.Problem, fixpoint.Options{
 			MaxSteps: cfg.maxSteps,
 			Core:     coreOpts,
 			Memo:     memo,
@@ -375,7 +278,7 @@ func run(cfg config, out, errw io.Writer) error {
 			return fmt.Errorf("%s: %w", t.Name, err)
 		}
 		if st != nil {
-			if err := st.PutTrajectory(t.Prob, params, res); err != nil {
+			if err := st.PutTrajectory(t.Problem, params, res); err != nil {
 				return fmt.Errorf("%s: checkpoint: %w", t.Name, err)
 			}
 		}

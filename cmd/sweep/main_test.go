@@ -137,7 +137,10 @@ func TestBuildTasksGridShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tasks := buildTasks(cfg)
+	tasks, err := buildTasks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 2 deltas × (1 sc + 1 so + 2 kcol + 1 weak2 + 2 superweak) = 14.
 	if len(tasks) != 14 {
 		t.Fatalf("got %d tasks, want 14", len(tasks))
@@ -148,7 +151,7 @@ func TestBuildTasksGridShape(t *testing.T) {
 			t.Fatalf("duplicate task %s", task.Name)
 		}
 		seen[task.Name] = true
-		if task.Prob == nil {
+		if task.Problem == nil {
 			t.Fatalf("%s: nil problem", task.Name)
 		}
 	}
@@ -162,7 +165,11 @@ func TestBuildTasksGridShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(buildTasks(catalogCfg)); got != 8 {
+	catalogTasks, err := buildTasks(catalogCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(catalogTasks); got != 8 {
 		t.Fatalf("catalog mode: got %d tasks, want 8", got)
 	}
 }

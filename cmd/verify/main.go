@@ -1,11 +1,13 @@
 // Command verify runs the brute-force solvability oracle and the
-// conformance harness of internal/oracle, and emits machine-readable
-// JSON verdicts.
+// conformance harness through the shared service layer
+// (internal/service — the same query path cmd/serve exposes over
+// HTTP), and emits machine-readable JSON verdicts.
 //
 // Usage:
 //
 //	verify -problem <catalog-name> [-rounds t] [-n maxN] [-workers k]
-//	       [-family name] [-seed s] [-relaxed] [-conformance] [-list]
+//	       [-family name] [-seed s] [-relaxed] [-conformance]
+//	       [-store dir] [-list]
 //
 // In the default mode the command decides whether the named catalog
 // problem is solvable by a single deterministic t-round port-numbering
@@ -20,35 +22,35 @@
 //
 //	verify -problem superweak/k=2,delta=3 -conformance
 //
+// With -store dir rendered verdicts are cached in the persistent
+// result store shared with cmd/serve and cmd/sweep: re-running the
+// same decision replays the stored verdict byte-identically instead of
+// repeating the search.
+//
 // Exit codes make the outcome scriptable without parsing the JSON:
 // 0 = solvable / all conformance checks passed, 2 = decided UNSOLVABLE
 // or a conformance check failed, 1 = the decision could not be made
 // (bad flags, unknown problem, infeasible search, budget exhausted).
 // The JSON schema is documented in the README ("cmd/verify — JSON
-// schema and exit codes").
+// schema and exit codes"); the HTTP service maps the same outcomes to
+// 200 / 409 / 4xx.
 //
-// Families (sized by -n where applicable, seeded by -seed):
-//
-//	cycles            every port numbering of C_3..C_n        (Δ=2)
-//	oriented-cycles   cycles × every edge orientation         (Δ=2)
-//	trees             every port numbering of the depth-1
-//	                  truncated Δ-regular tree (use -relaxed)
-//	oriented-trees    trees × every edge orientation
-//	regular           small Δ-regular graphs, shuffled ports
-//	oriented-regular  regular × seeded random orientations
+// The instance families (sized by -n where applicable, seeded by
+// -seed) are documented at oracle.BuildFamily: cycles,
+// oriented-cycles, trees (use -relaxed), oriented-trees, regular,
+// oriented-regular.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strings"
 
-	"repro/internal/core"
-	"repro/internal/oracle"
 	"repro/internal/problems"
+	"repro/internal/service"
 )
 
 func main() {
@@ -60,6 +62,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for shuffled/oriented family variants")
 	relaxed := flag.Bool("relaxed", false, "exempt nodes of degree != Δ from the node constraint (tree families)")
 	conformance := flag.Bool("conformance", false, "run the conformance harness instead of a single decision")
+	storeDir := flag.String("store", "", "persistent result store directory for verdict caching")
 	list := flag.Bool("list", false, "list catalog problems and exit")
 	// The default ExitOnError handling exits 2 on bad flags, which would
 	// collide with exit 2 = "decided UNSOLVABLE"; bad flags must exit 1.
@@ -77,7 +80,7 @@ func main() {
 		}
 		return
 	}
-	code, err := run(*problem, *rounds, *maxN, *workers, *family, *seed, *relaxed, *conformance)
+	code, err := run(*problem, *rounds, *maxN, *workers, *family, *seed, *relaxed, *conformance, *storeDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
@@ -85,134 +88,50 @@ func main() {
 	os.Exit(code)
 }
 
-func lookupProblem(name string) (*core.Problem, error) {
-	var known []string
-	for _, e := range problems.Catalog() {
-		if e.Name == name {
-			return e.Problem, nil
-		}
-		known = append(known, e.Name)
-	}
-	sort.Strings(known)
-	return nil, fmt.Errorf("unknown problem %q; catalog: %s", name, strings.Join(known, ", "))
-}
-
-func buildFamily(name string, delta, maxN int, seed int64) ([]oracle.Instance, error) {
-	if name == "" {
-		if delta == 2 {
-			name = "cycles"
-		} else {
-			name = "regular"
-		}
-	}
-	switch name {
-	case "cycles":
-		return oracle.CycleRange(3, maxN)
-	case "oriented-cycles":
-		insts, err := oracle.CycleRange(3, maxN)
-		if err != nil {
-			return nil, err
-		}
-		return oracle.WithAllOrientations(insts)
-	case "trees":
-		return oracle.Trees(delta, 1)
-	case "oriented-trees":
-		insts, err := oracle.Trees(delta, 1)
-		if err != nil {
-			return nil, err
-		}
-		return oracle.WithAllOrientations(insts)
-	case "regular":
-		bases, err := oracle.RegularBases(delta, maxN+2*delta)
-		if err != nil {
-			return nil, err
-		}
-		return oracle.WithShuffledPorts(bases, 6, seed), nil
-	case "oriented-regular":
-		bases, err := oracle.RegularBases(delta, maxN+2*delta)
-		if err != nil {
-			return nil, err
-		}
-		return oracle.WithRandomOrientations(oracle.WithShuffledPorts(bases, 3, seed), 3, seed+1), nil
-	default:
-		return nil, fmt.Errorf("unknown family %q (cycles, oriented-cycles, trees, oriented-trees, regular, oriented-regular)", name)
-	}
-}
-
-// decision is the JSON envelope for a single oracle run.
-type decision struct {
-	Problem string          `json:"problem"`
-	Family  string          `json:"family"`
-	Seed    int64           `json:"seed"`
-	Verdict *oracle.Verdict `json:"verdict"`
-}
-
 // exitNegative is the exit code for a completed negative outcome — a
 // decided UNSOLVABLE verdict or a failed conformance check — as opposed
 // to exit 1, which means the decision itself could not be made.
 const exitNegative = 2
 
-func run(problemName string, rounds, maxN, workers int, family string, seed int64, relaxed, conformance bool) (int, error) {
+// run issues the query through the service engine and prints the
+// verdict indented, returning the exit code.
+func run(problemName string, rounds, maxN, workers int, family string, seed int64, relaxed, conformance bool, storeDir string) (int, error) {
 	if problemName == "" {
 		return 0, fmt.Errorf("-problem is required (use -list for the catalog)")
 	}
-	p, err := lookupProblem(problemName)
+	engine, err := service.New(service.Config{StoreDir: storeDir, Workers: workers})
 	if err != nil {
 		return 0, err
 	}
-	opts := []oracle.Option{oracle.WithWorkers(workers)}
-	if relaxed {
-		opts = append(opts, oracle.WithRelaxedDegrees())
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
+	defer engine.Close()
 
-	if conformance {
-		fams, err := oracle.DefaultFamilies(p.Delta(), seed)
-		if err != nil {
-			return 0, err
-		}
-		maxT := rounds
-		if maxT < 1 {
-			maxT = 1
-		}
-		rep, err := oracle.Conformance(problemName, p, fams, maxT, opts...)
-		if err != nil {
-			return 0, err
-		}
-		if err := enc.Encode(rep); err != nil {
-			return 0, err
-		}
-		if !rep.OK {
+	resp, err := engine.Verify(context.Background(), service.VerifyRequest{
+		Problem:     problemName,
+		Rounds:      &rounds,
+		MaxN:        &maxN,
+		Family:      family,
+		Seed:        &seed,
+		Relaxed:     relaxed,
+		Conformance: conformance,
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Indenting the compact rendering is byte-identical to encoding
+	// with SetIndent, so the printed schema matches the HTTP body.
+	var out bytes.Buffer
+	if err := json.Indent(&out, resp.Body, "", "  "); err != nil {
+		return 0, err
+	}
+	out.WriteByte('\n')
+	if _, err := os.Stdout.Write(out.Bytes()); err != nil {
+		return 0, err
+	}
+	if resp.Negative {
+		if conformance {
 			fmt.Fprintf(os.Stderr, "verify: conformance checks failed for %s\n", problemName)
-			return exitNegative, nil
 		}
-		return 0, nil
-	}
-
-	insts, err := buildFamily(family, p.Delta(), maxN, seed)
-	if err != nil {
-		return 0, err
-	}
-	v, err := oracle.Decide(p, insts, rounds, opts...)
-	if err != nil {
-		return 0, err
-	}
-	if err := enc.Encode(decision{Problem: problemName, Family: familyLabel(family, p.Delta()), Seed: seed, Verdict: v}); err != nil {
-		return 0, err
-	}
-	if !v.Solvable {
 		return exitNegative, nil
 	}
 	return 0, nil
-}
-
-func familyLabel(name string, delta int) string {
-	if name != "" {
-		return name
-	}
-	if delta == 2 {
-		return "cycles"
-	}
-	return "regular"
 }

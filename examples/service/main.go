@@ -1,0 +1,172 @@
+// Round-elimination-as-a-service quickstart: start the HTTP daemon
+// in-process (the same engine and handler cmd/serve wires up), issue
+// the three query kinds — a speedup step, a streamed fixpoint
+// trajectory, an oracle verdict — plus the catalog, then replay the
+// fixpoint query to show the warm store answering byte-identically.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/service"
+)
+
+// sinkless is sinkless coloring at Δ=3, the paper's Section 4.4 fixed
+// point, in the human text format every endpoint accepts.
+const sinkless = "node:\n0^2 1\nedge:\n0 0\n0 1\n"
+
+func main() {
+	// A store directory makes results survive the process; cmd/serve
+	// takes the same thing via -store.
+	dir, err := os.MkdirTemp("", "re-service-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	engine, err := service.New(service.Config{StoreDir: filepath.Join(dir, "results")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+	srv := httptest.NewServer(service.Handler(engine))
+	defer srv.Close()
+	fmt.Printf("daemon listening on %s (equivalent: go run ./cmd/serve -store %s)\n\n", srv.URL, filepath.Join(dir, "results"))
+
+	// 1. One speedup step: POST /v1/speedup.
+	body := post(srv.URL+"/v1/speedup", fmt.Sprintf(`{"problem":%q}`, sinkless))
+	var speedup struct {
+		Input struct {
+			Key string `json:"key"`
+		} `json:"input"`
+		Derived []struct {
+			Key       string `json:"key"`
+			Canonical string `json:"canonical"`
+		} `json:"derived"`
+	}
+	mustUnmarshal(body, &speedup)
+	fmt.Printf("POST /v1/speedup\n  input key   %s\n  derived key %s\n  derived problem:\n%s\n",
+		speedup.Input.Key, speedup.Derived[0].Key, indent(speedup.Derived[0].Canonical))
+
+	// 2. The classified trajectory, streamed as NDJSON: POST /v1/fixpoint.
+	cold, coldTime := timed(func() []byte {
+		return post(srv.URL+"/v1/fixpoint", fmt.Sprintf(`{"problem":%q}`, sinkless))
+	})
+	fmt.Printf("POST /v1/fixpoint (cold store, %v)\n", coldTime)
+	printStream(cold)
+
+	// 3. An oracle verdict: POST /v1/verify (0-round 3-coloring on
+	// cycles is decidedly unsolvable — the daemon answers 409 with the
+	// full verdict, mirroring cmd/verify's exit code 2).
+	resp, err := http.Post(srv.URL+"/v1/verify", "application/json",
+		bytes.NewReader([]byte(`{"problem":"3-coloring/delta=2","rounds":0,"n":4}`)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("POST /v1/verify → HTTP %d\n%s\n", resp.StatusCode, indent(string(verdict)))
+
+	// 4. The catalog: GET /v1/catalog.
+	catResp, err := http.Get(srv.URL + "/v1/catalog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalog, _ := io.ReadAll(catResp.Body)
+	catResp.Body.Close()
+	var cat struct {
+		Entries []struct {
+			Name string `json:"name"`
+		} `json:"entries"`
+	}
+	mustUnmarshal(catalog, &cat)
+	fmt.Printf("GET /v1/catalog → %d problems (first: %s)\n\n", len(cat.Entries), cat.Entries[0].Name)
+
+	// 5. Warm replay: the identical fixpoint query now comes from the
+	// store — typically orders of magnitude faster — and the bytes are
+	// identical to the cold response. That is the service's caching
+	// contract: a cache can change latency, never answers.
+	warm, warmTime := timed(func() []byte {
+		return post(srv.URL+"/v1/fixpoint", fmt.Sprintf(`{"problem":%q}`, sinkless))
+	})
+	fmt.Printf("POST /v1/fixpoint again (warm store, %v; cold was %v)\n", warmTime, coldTime)
+	if bytes.Equal(cold, warm) {
+		fmt.Println("  warm response is byte-identical to the cold response ✓")
+	} else {
+		log.Fatal("warm response differs from cold response")
+	}
+}
+
+// post issues a JSON POST and returns the body, failing the example on
+// a non-2xx status.
+func post(url, body string) []byte {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+// printStream summarizes an NDJSON trajectory stream line by line.
+func printStream(body []byte) {
+	for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+		var entry struct {
+			Index   int `json:"index"`
+			Problem struct {
+				Labels      int    `json:"labels"`
+				EdgeConfigs int    `json:"edge_configs"`
+				NodeConfigs int    `json:"node_configs"`
+				Key         string `json:"key"`
+			} `json:"problem"`
+			Classification string `json:"classification"`
+			Steps          int    `json:"steps"`
+		}
+		mustUnmarshal(line, &entry)
+		if entry.Classification != "" {
+			fmt.Printf("  ← %q after %d step(s)\n\n", entry.Classification, entry.Steps)
+			continue
+		}
+		fmt.Printf("  ← Π_%d: %d labels, %d edge configs, %d node configs (key %s…)\n",
+			entry.Index, entry.Problem.Labels, entry.Problem.EdgeConfigs, entry.Problem.NodeConfigs, entry.Problem.Key[:12])
+	}
+}
+
+// timed runs fn and reports its wall-clock duration.
+func timed(fn func() []byte) ([]byte, time.Duration) {
+	start := time.Now()
+	out := fn()
+	return out, time.Since(start).Round(10 * time.Microsecond)
+}
+
+// mustUnmarshal decodes JSON or aborts the example.
+func mustUnmarshal(data []byte, dst any) {
+	if err := json.Unmarshal(data, dst); err != nil {
+		log.Fatalf("unmarshal %q: %v", data, err)
+	}
+}
+
+// indent prefixes every line for display.
+func indent(s string) string {
+	out := ""
+	for _, line := range bytes.Split(bytes.TrimRight([]byte(s), "\n"), []byte("\n")) {
+		out += "    " + string(line) + "\n"
+	}
+	return out
+}

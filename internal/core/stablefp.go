@@ -107,6 +107,22 @@ func (p *Problem) CanonicalBytes() []byte {
 	return []byte(sb.String())
 }
 
+// ParseAuto parses a problem in either supported text form, sniffing
+// the first line: input opening with the canonical header goes through
+// ParseCanonical (strict, representation-exact), anything else through
+// Parse (the human-facing inferred-alphabet format). It exists so that
+// interfaces accepting problems — the HTTP service, file-reading
+// commands — can consume their own canonical output: every service
+// response carries problems as CanonicalBytes, and feeding one back
+// yields the exact same representation, hence the exact same StableKey.
+func ParseAuto(text string) (*Problem, error) {
+	trimmed := strings.TrimLeft(text, "\n")
+	if first, _, _ := strings.Cut(trimmed, "\n"); first == canonicalHeader {
+		return ParseCanonical([]byte(trimmed))
+	}
+	return Parse(text)
+}
+
 // ParseCanonical reconstructs a problem from CanonicalBytes output. It
 // is strict: the header, the section order and the configuration counts
 // must match exactly, and every label must belong to the declared

@@ -136,3 +136,35 @@ func TestParseCanonicalRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestParseAuto: the sniffing parser routes canonical serializations to
+// the strict parser (preserving the exact representation, hence the
+// StableKey) and everything else to the human text format.
+func TestParseAuto(t *testing.T) {
+	p := mustSinkless(t)
+
+	canonical, err := ParseAuto(string(p.CanonicalBytes()))
+	if err != nil {
+		t.Fatalf("ParseAuto(canonical): %v", err)
+	}
+	if !canonical.Equal(p) {
+		t.Fatal("canonical round trip through ParseAuto lost the representation")
+	}
+	if StableKey(canonical) != StableKey(p) {
+		t.Fatal("ParseAuto(canonical) changed the stable key")
+	}
+
+	human, err := ParseAuto("\n\nnode:\n0^2 1\nedge:\n0 0\n0 1\n")
+	if err != nil {
+		t.Fatalf("ParseAuto(human): %v", err)
+	}
+	if !human.Equal(p) {
+		t.Fatal("ParseAuto(human) disagrees with Parse")
+	}
+
+	// A leading blank line before the canonical header still sniffs as
+	// canonical (strictness beyond that is ParseCanonical's).
+	if _, err := ParseAuto("\n" + string(p.CanonicalBytes())); err != nil {
+		t.Fatalf("ParseAuto(newline + canonical): %v", err)
+	}
+}

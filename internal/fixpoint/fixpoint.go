@@ -26,6 +26,7 @@
 package fixpoint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -93,6 +94,24 @@ type Options struct {
 	// budget into the record key; a MapMemo must simply not be reused
 	// across budgets).
 	Memo Memo
+	// Observe, when non-nil, is invoked synchronously for every
+	// trajectory entry the moment it is appended — index 0 is the
+	// compressed input, index i the i-th derived problem — before the
+	// run's classification is known. Streaming consumers (the HTTP
+	// service's NDJSON fixpoint endpoint) render entries from this
+	// callback; because each entry is final once appended, bytes
+	// streamed step-by-step equal bytes rendered from the finished
+	// Result.
+	Observe func(index int, p *core.Problem)
+	// Ctx, when non-nil, bounds the run: cancellation is polled at each
+	// step boundary and surfaces as Run returning ctx's error. Steps
+	// already completed have been offered to Memo, so an interrupted
+	// run leaves its progress behind as memoized steps — a later
+	// identical run replays them as cache hits and produces the exact
+	// trajectory an uninterrupted run would have (the service's
+	// graceful-shutdown checkpoint contract, mirroring cmd/sweep's
+	// kill -9 resume).
+	Ctx context.Context
 }
 
 // Memo is a pluggable cache of speedup steps, keyed by the exact input
@@ -197,6 +216,9 @@ func Run(p *core.Problem, opts Options) (*Result, error) {
 
 	start := p.Compress()
 	res := &Result{Trajectory: []*core.Problem{start}}
+	if opts.Observe != nil {
+		opts.Observe(0, start)
+	}
 	if start.Node.Size() == 0 || start.Edge.Size() == 0 {
 		res.Kind = Collapsed
 		return res, nil
@@ -219,6 +241,13 @@ func Run(p *core.Problem, opts Options) (*Result, error) {
 
 	cur := start
 	for step := 1; step <= maxSteps; step++ {
+		if opts.Ctx != nil {
+			select {
+			case <-opts.Ctx.Done():
+				return nil, opts.Ctx.Err()
+			default:
+			}
+		}
 		next, hit := (*core.Problem)(nil), false
 		if opts.Memo != nil {
 			next, hit = opts.Memo.LookupStep(cur)
@@ -240,6 +269,9 @@ func Run(p *core.Problem, opts Options) (*Result, error) {
 		}
 		res.Trajectory = append(res.Trajectory, next)
 		res.Steps = step
+		if opts.Observe != nil {
+			opts.Observe(step, next)
+		}
 
 		if next.Node.Size() == 0 || next.Edge.Size() == 0 {
 			res.Kind = Collapsed

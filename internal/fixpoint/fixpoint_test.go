@@ -1,6 +1,7 @@
 package fixpoint_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -177,6 +178,82 @@ func TestParallelFixpointMatchesSequential(t *testing.T) {
 	for i := range seq.Trajectory {
 		if seq.Trajectory[i].String() != par.Trajectory[i].String() {
 			t.Fatalf("Π_%d diverged between worker counts", i)
+		}
+	}
+}
+
+// TestObserveStreamsTrajectory: Observe fires once per trajectory entry,
+// in order, with exactly the problems the finished Result carries — the
+// contract that makes streamed NDJSON bytes equal replayed ones.
+func TestObserveStreamsTrajectory(t *testing.T) {
+	p := problems.SinklessColoring(3)
+	var indices []int
+	var seen []*core.Problem
+	res, err := fixpoint.Run(p, fixpoint.Options{Observe: func(i int, q *core.Problem) {
+		indices = append(indices, i)
+		seen = append(seen, q)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Trajectory) {
+		t.Fatalf("observed %d entries, trajectory has %d", len(seen), len(res.Trajectory))
+	}
+	for i, q := range seen {
+		if indices[i] != i {
+			t.Fatalf("observation %d carried index %d", i, indices[i])
+		}
+		if !q.Equal(res.Trajectory[i]) {
+			t.Fatalf("observed entry %d differs from trajectory entry", i)
+		}
+	}
+}
+
+// TestCtxInterruptLeavesMemoizedSteps: a canceled run surfaces the
+// context error, and the steps it finished beforehand remain in the
+// memo, so an identical re-run replays them and matches an
+// uninterrupted run exactly. Cancelling from inside Observe makes the
+// interruption point deterministic: the check at the next step
+// boundary always fires. Sinkless orientation at Δ=3 closes after
+// exactly 2 steps, so cancelling after step 1 always interrupts.
+func TestCtxInterruptLeavesMemoizedSteps(t *testing.T) {
+	p := problems.SinklessOrientation(3)
+	want, err := fixpoint.Run(p, fixpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Steps < 2 {
+		t.Fatalf("need a multi-step trajectory for this test, got %d step(s)", want.Steps)
+	}
+
+	memo := fixpoint.NewMapMemo()
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err = fixpoint.Run(p, fixpoint.Options{
+		Memo: memo,
+		Ctx:  ctx,
+		Observe: func(i int, _ *core.Problem) {
+			if i == 1 {
+				cancel() // interrupt after the first completed step
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if memo.Len() == 0 {
+		t.Fatal("interrupted run left no memoized steps behind")
+	}
+
+	res, err := fixpoint.Run(p, fixpoint.Options{Memo: memo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != want.Kind || res.Steps != want.Steps || len(res.Trajectory) != len(want.Trajectory) {
+		t.Fatalf("resumed run classified (%v, %d steps), want (%v, %d steps)", res.Kind, res.Steps, want.Kind, want.Steps)
+	}
+	for i := range res.Trajectory {
+		if !res.Trajectory[i].Equal(want.Trajectory[i]) {
+			t.Fatalf("resumed trajectory entry %d differs from uninterrupted run", i)
 		}
 	}
 }

@@ -1,0 +1,79 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FamilyNames lists the named instance families BuildFamily accepts, in
+// documentation order. Each family is a deterministic function of
+// (Δ, maxN, seed), so two callers naming the same family with the same
+// parameters decide over the same instances — which is what lets
+// cmd/verify and the HTTP service share verdicts byte-for-byte.
+func FamilyNames() []string {
+	return []string{"cycles", "oriented-cycles", "trees", "oriented-trees", "regular", "oriented-regular"}
+}
+
+// DefaultFamilyName resolves the family used when a caller names none:
+// cycles at Δ = 2 (the only 2-regular connected graphs), the shuffled
+// Δ-regular bases otherwise.
+func DefaultFamilyName(delta int) string {
+	if delta == 2 {
+		return "cycles"
+	}
+	return "regular"
+}
+
+// BuildFamily instantiates a named instance family for a problem at the
+// given Δ. The empty name selects DefaultFamilyName(delta). maxN sizes
+// the sized families (cycle lengths, regular-base orders); seed drives
+// the shuffled and randomly oriented variants. The returned slice is
+// deterministic in (name, delta, maxN, seed).
+//
+// Families:
+//
+//	cycles            every port numbering of C_3..C_maxN         (Δ=2)
+//	oriented-cycles   cycles × every edge orientation             (Δ=2)
+//	trees             every port numbering of the depth-1
+//	                  truncated Δ-regular tree (decide with
+//	                  WithRelaxedDegrees: leaves have degree 1)
+//	oriented-trees    trees × every edge orientation
+//	regular           small Δ-regular graphs, shuffled ports
+//	oriented-regular  regular × seeded random orientations
+func BuildFamily(name string, delta, maxN int, seed int64) ([]Instance, error) {
+	if name == "" {
+		name = DefaultFamilyName(delta)
+	}
+	switch name {
+	case "cycles":
+		return CycleRange(3, maxN)
+	case "oriented-cycles":
+		insts, err := CycleRange(3, maxN)
+		if err != nil {
+			return nil, err
+		}
+		return WithAllOrientations(insts)
+	case "trees":
+		return Trees(delta, 1)
+	case "oriented-trees":
+		insts, err := Trees(delta, 1)
+		if err != nil {
+			return nil, err
+		}
+		return WithAllOrientations(insts)
+	case "regular":
+		bases, err := RegularBases(delta, maxN+2*delta)
+		if err != nil {
+			return nil, err
+		}
+		return WithShuffledPorts(bases, 6, seed), nil
+	case "oriented-regular":
+		bases, err := RegularBases(delta, maxN+2*delta)
+		if err != nil {
+			return nil, err
+		}
+		return WithRandomOrientations(WithShuffledPorts(bases, 3, seed), 3, seed+1), nil
+	default:
+		return nil, fmt.Errorf("oracle: unknown family %q (%s)", name, strings.Join(FamilyNames(), ", "))
+	}
+}

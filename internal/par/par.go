@@ -13,6 +13,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -136,3 +137,48 @@ func NewBudget(n int) *Budget {
 func (b *Budget) Take() bool {
 	return b.remaining.Add(-1) >= 0
 }
+
+// Gate is a counting semaphore used for admission control: it bounds
+// how many callers may be inside a section at once, with the excess
+// queueing in Enter until a slot frees or their context is done. Unlike
+// Budget — which counts total work and never refills — a Gate bounds
+// *concurrent* work and recycles its slots, which is what a long-running
+// service needs to keep an unbounded request stream from launching an
+// unbounded number of engine computations.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent holders;
+// n <= 0 selects runtime.GOMAXPROCS(0).
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Cap reports the gate's admission capacity.
+func (g *Gate) Cap() int { return cap(g.slots) }
+
+// Enter blocks until a slot is free or ctx is done, and reports whether
+// the slot was acquired. A context that is already done is always
+// refused, even when slots are free — so a shutdown signal reliably
+// stops new admissions. Every successful Enter must be paired with
+// exactly one Leave; after a false return the caller must not Leave.
+func (g *Gate) Enter(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	default:
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Leave releases a slot acquired by Enter.
+func (g *Gate) Leave() { <-g.slots }

@@ -1,6 +1,7 @@
 package par_test
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -81,5 +82,59 @@ func TestBudgetExactCount(t *testing.T) {
 		if got := ok.Load(); got != 500 {
 			t.Fatalf("workers=%d: %d successful takes, want 500", workers, got)
 		}
+	}
+}
+
+// TestGateBoundsConcurrency: at most Cap() holders are ever inside the
+// gated section, and queued entries are admitted as slots free up.
+func TestGateBoundsConcurrency(t *testing.T) {
+	g := par.NewGate(3)
+	if g.Cap() != 3 {
+		t.Fatalf("Cap() = %d, want 3", g.Cap())
+	}
+	var inside, peak atomic.Int64
+	par.RunIndexed(8, 64, func(i int) {
+		if !g.Enter(context.Background()) {
+			t.Error("Enter with background context must succeed")
+			return
+		}
+		cur := inside.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inside.Add(-1)
+		g.Leave()
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent holders, gate capacity 3", p)
+	}
+}
+
+// TestGateEnterCancel: a full gate rejects an already-canceled context
+// instead of blocking, and the rejected caller consumes no slot.
+func TestGateEnterCancel(t *testing.T) {
+	g := par.NewGate(1)
+	if !g.Enter(context.Background()) {
+		t.Fatal("first Enter must succeed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if g.Enter(ctx) {
+		t.Fatal("Enter with canceled context on a full gate must fail")
+	}
+	g.Leave()
+	if !g.Enter(context.Background()) {
+		t.Fatal("slot must be reusable after Leave")
+	}
+	g.Leave()
+}
+
+// TestGateDefaultCap: n <= 0 selects GOMAXPROCS.
+func TestGateDefaultCap(t *testing.T) {
+	if got := par.NewGate(0).Cap(); got < 1 {
+		t.Fatalf("default capacity %d, want >= 1", got)
 	}
 }

@@ -1,0 +1,145 @@
+package problems
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Families lists the sweepable problem families in grid order — the
+// order Grid expands them and batch reports present them.
+func Families() []string {
+	return []string{
+		"sinkless-coloring",
+		"sinkless-orientation",
+		"k-coloring",
+		"weak2-pointer",
+		"superweak",
+	}
+}
+
+// GridPoint is one instantiated (family, Δ, k) parameter point: the
+// problem plus the identity batch consumers key their reports on.
+type GridPoint struct {
+	// Name identifies the point, "family/parameters", matching the
+	// catalog naming scheme.
+	Name string
+	// Family is the family segment of the name.
+	Family string
+	// Delta is the regular degree the problem was instantiated at.
+	Delta int
+	// K is the family's k parameter; 0 when the family has none.
+	K int
+	// Problem is the instantiated problem.
+	Problem *core.Problem
+}
+
+// Grid expands families over the inclusive Δ and k ranges into the
+// deterministic point list that defines both batch sharding and report
+// row order. Families without a k parameter contribute one point per Δ;
+// parameter combinations outside a family's domain (superweak needs
+// k >= 2) are skipped. Unknown family names are an error.
+func Grid(families []string, deltaLo, deltaHi, kLo, kHi int) ([]GridPoint, error) {
+	var points []GridPoint
+	for _, family := range families {
+		known := false
+		for _, f := range Families() {
+			if f == family {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("problems: unknown family %q (have %s)", family, strings.Join(Families(), ", "))
+		}
+		for delta := deltaLo; delta <= deltaHi; delta++ {
+			switch family {
+			case "sinkless-coloring":
+				points = append(points, GridPoint{
+					Name:   fmt.Sprintf("sinkless-coloring/delta=%d", delta),
+					Family: family, Delta: delta,
+					Problem: SinklessColoring(delta),
+				})
+			case "sinkless-orientation":
+				points = append(points, GridPoint{
+					Name:   fmt.Sprintf("sinkless-orientation/delta=%d", delta),
+					Family: family, Delta: delta,
+					Problem: SinklessOrientation(delta),
+				})
+			case "weak2-pointer":
+				points = append(points, GridPoint{
+					Name:   fmt.Sprintf("weak2-pointer/delta=%d", delta),
+					Family: family, Delta: delta,
+					Problem: WeakTwoColoringPointer(delta),
+				})
+			case "k-coloring":
+				for k := kLo; k <= kHi; k++ {
+					points = append(points, GridPoint{
+						Name:   fmt.Sprintf("%d-coloring/delta=%d", k, delta),
+						Family: family, Delta: delta, K: k,
+						Problem: KColoring(k, delta),
+					})
+				}
+			case "superweak":
+				for k := kLo; k <= kHi; k++ {
+					if k < 2 { // the problem is defined for k >= 2
+						continue
+					}
+					points = append(points, GridPoint{
+						Name:   fmt.Sprintf("superweak/k=%d,delta=%d", k, delta),
+						Family: family, Delta: delta, K: k,
+						Problem: Superweak(k, delta),
+					})
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// CatalogGrid presents the fixed paper catalog (Catalog) as grid
+// points, recovering each entry's family and k from its name.
+func CatalogGrid() []GridPoint {
+	var points []GridPoint
+	for _, e := range Catalog() {
+		points = append(points, GridPoint{
+			Name:    e.Name,
+			Family:  FamilyOf(e.Name),
+			Delta:   e.Problem.Delta(),
+			K:       KOf(e.Name),
+			Problem: e.Problem,
+		})
+	}
+	return points
+}
+
+// FamilyOf recovers the family segment of a catalog-style name
+// ("3-coloring/delta=2" → "k-coloring").
+func FamilyOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	if strings.HasSuffix(name, "-coloring") && name != "sinkless-coloring" {
+		return "k-coloring"
+	}
+	return name
+}
+
+// KOf recovers the k parameter of a catalog-style name
+// ("3-coloring/...", ".../k=2,..."); 0 for families without one.
+func KOf(name string) int {
+	if i := strings.Index(name, "k="); i >= 0 {
+		var k int
+		if _, err := fmt.Sscanf(name[i:], "k=%d", &k); err == nil {
+			return k
+		}
+	}
+	if FamilyOf(name) == "k-coloring" {
+		if k, err := strconv.Atoi(name[:strings.IndexByte(name, '-')]); err == nil {
+			return k
+		}
+	}
+	return 0
+}

@@ -158,3 +158,51 @@ func TestConstructorPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestGridMatchesNaming: grid points reproduce the catalog naming
+// scheme, and FamilyOf/KOf invert it.
+func TestGridMatchesNaming(t *testing.T) {
+	points, err := Grid(Families(), 2, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("empty grid")
+	}
+	seen := map[string]bool{}
+	for _, pt := range points {
+		if seen[pt.Name] {
+			t.Fatalf("duplicate grid point %q", pt.Name)
+		}
+		seen[pt.Name] = true
+		if got := FamilyOf(pt.Name); got != pt.Family {
+			t.Fatalf("FamilyOf(%q) = %q, want %q", pt.Name, got, pt.Family)
+		}
+		if got := KOf(pt.Name); got != pt.K {
+			t.Fatalf("KOf(%q) = %d, want %d", pt.Name, got, pt.K)
+		}
+		if pt.Problem == nil || pt.Problem.Delta() != pt.Delta {
+			t.Fatalf("%q: problem Δ disagrees with point", pt.Name)
+		}
+		if pt.Family == "superweak" && pt.K < 2 {
+			t.Fatalf("%q: superweak requires k >= 2", pt.Name)
+		}
+	}
+	if _, err := Grid([]string{"nope"}, 2, 2, 2, 2); err == nil {
+		t.Fatal("unknown family must error")
+	}
+}
+
+// TestCatalogGrid: the fixed catalog maps onto grid points with
+// consistent recovered parameters.
+func TestCatalogGrid(t *testing.T) {
+	points := CatalogGrid()
+	if len(points) != len(Catalog()) {
+		t.Fatalf("%d points for %d catalog entries", len(points), len(Catalog()))
+	}
+	for _, pt := range points {
+		if pt.Family == "" || pt.Delta < 1 {
+			t.Fatalf("%q: incomplete point %+v", pt.Name, pt)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package service
+
+import "repro/internal/problems"
+
+// CatalogEntry is one problem of the paper catalog as served by the
+// catalog endpoint: the identity batch reports use (name, family, Δ, k)
+// plus the full problem view whose canonical text can be posted
+// straight back to the speedup and fixpoint endpoints.
+type CatalogEntry struct {
+	// Name is the catalog name, as accepted by the verify endpoint.
+	Name string `json:"name"`
+	// Family is the problem-family segment of the name.
+	Family string `json:"family"`
+	// Delta is the instantiation degree.
+	Delta int `json:"delta"`
+	// K is the family's k parameter, 0 when it has none.
+	K int `json:"k,omitempty"`
+	// FixedPoint records whether one speedup step is known to map the
+	// problem back into its own isomorphism class.
+	FixedPoint bool `json:"fixed_point,omitempty"`
+	// Problem is the instantiated problem.
+	Problem ProblemView `json:"problem"`
+}
+
+// CatalogResponse is the catalog endpoint's body.
+type CatalogResponse struct {
+	// Entries lists the catalog in its fixed paper order.
+	Entries []CatalogEntry `json:"entries"`
+}
+
+// Catalog renders the paper catalog. The response is a pure function
+// of problems.Catalog() — independent of store state, so its bytes are
+// identical on every server.
+func (e *Engine) Catalog() *CatalogResponse {
+	resp := &CatalogResponse{}
+	for _, entry := range problems.Catalog() {
+		resp.Entries = append(resp.Entries, CatalogEntry{
+			Name:       entry.Name,
+			Family:     problems.FamilyOf(entry.Name),
+			Delta:      entry.Problem.Delta(),
+			K:          problems.KOf(entry.Name),
+			FixedPoint: entry.FixedPoint,
+			Problem:    viewOf(entry.Problem),
+		})
+	}
+	return resp
+}

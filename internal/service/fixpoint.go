@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fixpoint"
+	"repro/internal/store"
+)
+
+// FixpointRequest asks for the classified iterated-speedup trajectory
+// of one problem, streamed step-by-step as NDJSON.
+type FixpointRequest struct {
+	// Problem is the input problem, in either text format.
+	Problem string `json:"problem"`
+	// MaxSteps bounds the iteration; 0 selects fixpoint.DefaultMaxSteps,
+	// at most MaxRequestSteps.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// MaxStates is the per-step core.WithMaxStates budget; 0 selects
+	// the engine default. Both budgets are part of the cache identity.
+	MaxStates int `json:"max_states,omitempty"`
+}
+
+// FixpointEntry is one NDJSON line of the trajectory stream: entry 0
+// is the compressed input Π_0, entry i the i-th derived problem Π_i.
+type FixpointEntry struct {
+	// Index is the trajectory position.
+	Index int `json:"index"`
+	// Problem is the entry's rendering.
+	Problem ProblemView `json:"problem"`
+}
+
+// FixpointClassification is the final NDJSON line of the stream.
+type FixpointClassification struct {
+	// Classification is the fixpoint.Kind string ("fixed point",
+	// "cycle", "collapsed", "zero-round solvable", "budget exceeded").
+	Classification string `json:"classification"`
+	// Steps is the number of speedup applications performed.
+	Steps int `json:"steps"`
+	// CycleStart and CycleLen describe trajectory closure (fixed
+	// points have CycleLen 1); both are 0 for other classifications.
+	CycleStart int `json:"cycle_start"`
+	CycleLen   int `json:"cycle_len"`
+	// BudgetError carries the state-budget error message when the
+	// classification is "budget exceeded" because the enumeration gave
+	// up (empty when the step limit ran out instead).
+	BudgetError string `json:"budget_error,omitempty"`
+}
+
+// Fixpoint answers one fixpoint query, writing the NDJSON stream —
+// one FixpointEntry line per trajectory entry, then one
+// FixpointClassification line — through sink as lines finalize. A warm
+// store (or memory-cache) hit replays the stored trajectory; a cold
+// run streams each entry the moment the underlying driver appends it,
+// and concurrent identical queries subscribe to the same run, so every
+// client of a key receives byte-identical lines.
+func (e *Engine) Fixpoint(ctx context.Context, req FixpointRequest, sink func(line []byte) error) error {
+	maxSteps := req.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = fixpoint.DefaultMaxSteps
+	}
+	if err := validateRequestBudgets(maxSteps, req.MaxStates); err != nil {
+		return err
+	}
+	p, err := parseProblem(req.Problem)
+	if err != nil {
+		return err
+	}
+	params := store.TrajectoryParams{MaxSteps: maxSteps, MaxStates: req.MaxStates}
+	key := fmt.Sprintf("fixpoint|%s|max_steps=%d|max_states=%d",
+		core.StableKey(p), maxSteps, req.MaxStates)
+
+	// Warm path: replay the stored trajectory without touching the
+	// gate or the flight table.
+	if res, ok := e.lookupTrajectory(key, p, params); ok {
+		for _, line := range renderTrajectory(res) {
+			if err := sink(line); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	_, err = e.inflight(ctx, key, sink, func(c *call) {
+		c.finish(e.computeFixpoint(c, p, params, key))
+	})
+	return err
+}
+
+// lookupTrajectory consults the warm tier: the persistent store when
+// configured, the in-process cache otherwise. Lookup failures of any
+// kind degrade to a miss.
+func (e *Engine) lookupTrajectory(key string, p *core.Problem, params store.TrajectoryParams) (*fixpoint.Result, bool) {
+	if e.st != nil {
+		res, ok, err := e.st.GetTrajectory(p, params)
+		if err != nil || !ok {
+			return nil, false
+		}
+		return res, true
+	}
+	e.mu.Lock()
+	res, ok := e.trajCache[key]
+	e.mu.Unlock()
+	return res, ok
+}
+
+// computeFixpoint runs the driver under the admission gate, emitting
+// each trajectory line as the driver appends the entry, and commits
+// the classified trajectory to the warm tier on success.
+func (e *Engine) computeFixpoint(c *call, p *core.Problem, params store.TrajectoryParams, key string) (any, error) {
+	if err := e.enter(); err != nil {
+		return nil, err
+	}
+	defer e.gate.Leave()
+	res, err := fixpoint.Run(p, fixpoint.Options{
+		MaxSteps: params.MaxSteps,
+		Core:     e.coreOpts(params.MaxStates),
+		Memo:     e.stepMemo(params.MaxStates),
+		Ctx:      e.runCtx,
+		Observe: func(index int, q *core.Problem) {
+			c.emit(marshalLine(FixpointEntry{Index: index, Problem: viewOf(q)}))
+			if e.stepHook != nil {
+				e.stepHook(index)
+			}
+		},
+	})
+	if err != nil {
+		if e.runCtx.Err() != nil {
+			// Interrupted by shutdown. Completed steps are already in
+			// the step memo; a restarted engine resumes from them.
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	c.emit(marshalLine(classificationOf(res)))
+	if e.st != nil {
+		// A failed commit only costs warmth, never correctness.
+		_ = e.st.PutTrajectory(p, params, res)
+	} else {
+		e.mu.Lock()
+		e.trajCache[key] = res
+		e.mu.Unlock()
+	}
+	return res, nil
+}
+
+// classificationOf condenses a classified trajectory into its final
+// stream line, a pure function of the result (what makes cold and warm
+// streams byte-identical).
+func classificationOf(res *fixpoint.Result) FixpointClassification {
+	cls := FixpointClassification{
+		Classification: res.Kind.String(),
+		Steps:          res.Steps,
+		CycleStart:     res.CycleStart,
+		CycleLen:       res.CycleLen,
+	}
+	if res.Err != nil {
+		cls.BudgetError = res.Err.Error()
+	}
+	return cls
+}
+
+// renderTrajectory renders the full NDJSON line sequence of a
+// classified trajectory — the exact lines a cold run emits
+// incrementally.
+func renderTrajectory(res *fixpoint.Result) [][]byte {
+	lines := make([][]byte, 0, len(res.Trajectory)+1)
+	for i, q := range res.Trajectory {
+		lines = append(lines, marshalLine(FixpointEntry{Index: i, Problem: viewOf(q)}))
+	}
+	return append(lines, marshalLine(classificationOf(res)))
+}
+
+// marshalLine renders one NDJSON line (marshaled value plus newline).
+// Marshaling these closed struct types cannot fail.
+func marshalLine(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("service: marshal stream line: %v", err))
+	}
+	return append(data, '\n')
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// MaxRequestBody caps the accepted request-body size (1 MiB):
+// problems are small text descriptions, and the cap keeps a single
+// client from holding request memory hostage.
+const MaxRequestBody = 1 << 20
+
+// Handler returns the service's HTTP API over the engine:
+//
+//	POST /v1/speedup   one or more full speedup steps, or the half step
+//	POST /v1/fixpoint  classified trajectory, streamed as NDJSON
+//	POST /v1/verify    brute-force oracle verdict / conformance report
+//	GET  /v1/catalog   the paper's problem catalog
+//
+// Success bodies are deterministic functions of the query — identical
+// whether served cold or from the warm store. Failures carry
+// `{"error": "..."}` with the status from StatusOf; a negative verify
+// outcome (decided UNSOLVABLE, failed conformance) is 409 with the
+// full verdict body. The fixpoint stream reports failures occurring
+// after streaming began as a final `{"error": "..."}` line, since the
+// 200 header is already on the wire.
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/speedup", func(w http.ResponseWriter, r *http.Request) {
+		var req SpeedupRequest
+		if err := readJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		resp, err := e.Speedup(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/fixpoint", func(w http.ResponseWriter, r *http.Request) {
+		var req FixpointRequest
+		if err := readJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		streaming := false
+		flusher, _ := w.(http.Flusher)
+		err := e.Fixpoint(r.Context(), req, func(line []byte) error {
+			if !streaming {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				streaming = true
+			}
+			if _, werr := w.Write(line); werr != nil {
+				return werr
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+		switch {
+		case err == nil:
+		case !streaming:
+			writeError(w, err)
+		default:
+			// Mid-stream failure: the status is already committed, so
+			// the error travels as the final NDJSON line.
+			line, _ := json.Marshal(map[string]string{"error": err.Error()})
+			_, _ = w.Write(append(line, '\n'))
+		}
+	})
+	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
+		var req VerifyRequest
+		if err := readJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		// The per-request ceilings are an HTTP-service concern: the
+		// engine itself stays uncapped for the batch CLIs.
+		if req.Rounds != nil && *req.Rounds > MaxVerifyRounds {
+			writeError(w, badRequest("rounds must be <= %d, got %d", MaxVerifyRounds, *req.Rounds))
+			return
+		}
+		if req.MaxN != nil && *req.MaxN > MaxVerifyN {
+			writeError(w, badRequest("n must be <= %d, got %d", MaxVerifyN, *req.MaxN))
+			return
+		}
+		resp, err := e.Verify(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		status := http.StatusOK
+		if resp.Negative {
+			status = http.StatusConflict
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		// resp.Body is shared across subscribers and cache hits — it
+		// must never be appended to (the spare capacity race); the
+		// newline goes out as its own write.
+		_, _ = w.Write(resp.Body)
+		_, _ = io.WriteString(w, "\n")
+	})
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Catalog())
+	})
+	return mux
+}
+
+// readJSON decodes a size-capped JSON request body, rejecting trailing
+// garbage; failures map to 400.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody))
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("request body: trailing content after the JSON object")
+	}
+	return nil
+}
+
+// writeJSON serves a marshaled body with a trailing newline (curl
+// friendliness; part of the byte-identity contract, applied uniformly).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, fmt.Errorf("render response: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+// writeError serves the error envelope under StatusOf's mapping.
+func writeError(w http.ResponseWriter, err error) {
+	var payload = struct {
+		Error string `json:"error"`
+	}{Error: err.Error()}
+	body, merr := json.Marshal(payload)
+	if merr != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(StatusOf(err))
+	_, _ = w.Write(append(body, '\n'))
+}

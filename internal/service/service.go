@@ -1,0 +1,247 @@
+// Package service is the round-elimination query engine behind the
+// HTTP daemon (cmd/serve) and the thin command-line clients: it turns
+// the repository's batch machinery — the speedup engine (internal/core),
+// the iterated fixpoint driver (internal/fixpoint), the brute-force
+// solvability oracle (internal/oracle) and the persistent result store
+// (internal/store) — into a long-running concurrent service.
+//
+// Every query is keyed by the stable fingerprint of its exact input
+// representation (core.StableKey) plus its budget parameters, which
+// buys the two properties the whole layer is built around:
+//
+//   - In-flight deduplication: identical queries arriving concurrently
+//     share one computation (a singleflight keyed by the stable key).
+//     Late arrivals subscribe to the computation in progress — for the
+//     streaming fixpoint endpoint they receive the NDJSON lines already
+//     produced and then follow along live.
+//   - Warm serving: finished results are committed to the persistent
+//     result store (speedup steps, classified trajectories, rendered
+//     verdicts) and replayed from it in microseconds. Because every
+//     response is rendered from canonical problem serializations and
+//     deterministic structs, a warm response is byte-identical to the
+//     cold response — the same contract cmd/sweep relies on for its
+//     resume-after-kill reports.
+//
+// Admission control: actual engine computations (speedup enumeration,
+// fixpoint iteration, oracle search) pass through a par.Gate bounding
+// how many run concurrently; warm store reads bypass the gate. An
+// unbounded request stream therefore queues instead of launching an
+// unbounded number of enumerations.
+//
+// Shutdown: Close cancels the engine's run context. In-flight fixpoint
+// iterations stop at the next step boundary, but every step they
+// completed has already been committed to the store's step memo — so a
+// restarted service replays those steps as cache hits and answers the
+// interrupted query byte-identically to an uninterrupted run. This is
+// cmd/sweep's kill -9 checkpoint contract, applied to a daemon.
+//
+// Without a store directory the engine runs memory-only: the same
+// deduplication and byte-identity hold, with warmth scoped to the
+// process lifetime (and memory growing with the set of distinct queries
+// served — give a long-running daemon a store).
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fixpoint"
+	"repro/internal/par"
+	"repro/internal/store"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// StoreDir is the persistent result store directory; empty selects
+	// memory-only operation.
+	StoreDir string
+	// Workers is the core.WithWorkers count used inside each engine
+	// computation (0 = GOMAXPROCS).
+	Workers int
+	// MaxInflight bounds how many engine computations run concurrently
+	// (the par.Gate admission budget); 0 = GOMAXPROCS.
+	MaxInflight int
+}
+
+// Engine answers speedup, fixpoint, verify and catalog queries with
+// in-flight deduplication and store-backed warm serving. Create one
+// with New; an Engine is safe for concurrent use by any number of
+// request goroutines.
+type Engine struct {
+	st      *store.Store // nil = memory-only
+	gate    *par.Gate
+	workers int
+
+	runCtx context.Context
+	stop   context.CancelFunc
+
+	mu           sync.Mutex
+	stepMemos    map[int]fixpoint.Memo          // memory mode: budget → step memo
+	halves       map[string]*core.Problem       // half-step cache (no store record kind)
+	trajCache    map[string]*fixpoint.Result    // memory mode: trajectory warm cache
+	verdictCache map[store.VerdictParams][]byte // memory mode: rendered verdict warm cache
+	flight       map[string]*call
+
+	// stepHook, when non-nil, fires synchronously after each fixpoint
+	// trajectory entry is emitted. Test seam: shutdown tests use it to
+	// close the engine at a deterministic point mid-trajectory.
+	stepHook func(index int)
+}
+
+// New opens the store (when configured) and returns a ready engine.
+func New(cfg Config) (*Engine, error) {
+	e := &Engine{
+		workers:      cfg.Workers,
+		gate:         par.NewGate(cfg.MaxInflight),
+		stepMemos:    make(map[int]fixpoint.Memo),
+		halves:       make(map[string]*core.Problem),
+		trajCache:    make(map[string]*fixpoint.Result),
+		verdictCache: make(map[store.VerdictParams][]byte),
+		flight:       make(map[string]*call),
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		e.st = st
+	}
+	e.runCtx, e.stop = context.WithCancel(context.Background())
+	return e, nil
+}
+
+// Store returns the engine's persistent store handle, nil in
+// memory-only mode.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Close cancels the engine's run context: computations in flight stop
+// at their next step boundary (their completed steps remain committed
+// to the store), and subsequent queries fail with ErrClosed. Close is
+// idempotent.
+func (e *Engine) Close() { e.stop() }
+
+// ErrClosed reports a query issued against a closed (shutting-down)
+// engine; the HTTP layer maps it to 503.
+var ErrClosed = fmt.Errorf("service: engine is shutting down")
+
+// coreOpts assembles the per-computation core options from the engine
+// configuration and a request's state budget.
+func (e *Engine) coreOpts(maxStates int) []core.Option {
+	opts := []core.Option{core.WithWorkers(e.workers)}
+	if maxStates > 0 {
+		opts = append(opts, core.WithMaxStates(maxStates))
+	}
+	return opts
+}
+
+// stepMemo returns the budget-scoped speedup-step memo: store-backed
+// when a store is configured, a per-budget in-memory map otherwise.
+func (e *Engine) stepMemo(maxStates int) fixpoint.Memo {
+	if e.st != nil {
+		return e.st.StepMemo(maxStates)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, ok := e.stepMemos[maxStates]
+	if !ok {
+		m = fixpoint.NewMapMemo()
+		e.stepMemos[maxStates] = m
+	}
+	return m
+}
+
+// enter acquires an engine-computation slot, failing with ErrClosed
+// once the engine is shutting down.
+func (e *Engine) enter() error {
+	if !e.gate.Enter(e.runCtx) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// call is one deduplicated computation in flight: subscribers stream
+// its finalized chunks as they appear and collect its final value.
+type call struct {
+	mu     sync.Mutex
+	wake   chan struct{} // closed and replaced on every state change
+	chunks [][]byte      // finalized stream chunks, in emission order
+	done   bool
+	val    any
+	err    error
+}
+
+func newCall() *call {
+	return &call{wake: make(chan struct{})}
+}
+
+// emit appends one finalized chunk and wakes subscribers.
+func (c *call) emit(chunk []byte) {
+	c.mu.Lock()
+	c.chunks = append(c.chunks, chunk)
+	close(c.wake)
+	c.wake = make(chan struct{})
+	c.mu.Unlock()
+}
+
+// finish publishes the final value and wakes subscribers for the last
+// time.
+func (c *call) finish(val any, err error) {
+	c.mu.Lock()
+	c.val, c.err, c.done = val, err, true
+	close(c.wake)
+	c.mu.Unlock()
+}
+
+// follow streams the call's chunks through sink (when non-nil) as they
+// finalize and returns the final value. It honors ctx for the waiting
+// subscriber without affecting the computation, which keeps running for
+// the other subscribers (and for the cache).
+func (c *call) follow(ctx context.Context, sink func([]byte) error) (any, error) {
+	next := 0
+	for {
+		c.mu.Lock()
+		chunks, done, val, err := c.chunks[next:], c.done, c.val, c.err
+		wake := c.wake
+		c.mu.Unlock()
+		next += len(chunks)
+		for _, chunk := range chunks {
+			if sink != nil {
+				if serr := sink(chunk); serr != nil {
+					return nil, serr
+				}
+			}
+		}
+		if done {
+			return val, err
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// inflight deduplicates computations by key: the first caller spawns
+// compute on a detached goroutine (so the computation outlives any one
+// subscriber and its result is cached even if every client goes away),
+// and every caller — first included — subscribes via follow. compute
+// must call finish exactly once and may emit chunks before that.
+func (e *Engine) inflight(ctx context.Context, key string, sink func([]byte) error, compute func(c *call)) (any, error) {
+	e.mu.Lock()
+	c, ok := e.flight[key]
+	if !ok {
+		c = newCall()
+		e.flight[key] = c
+		go func() {
+			compute(c)
+			e.mu.Lock()
+			delete(e.flight, key)
+			e.mu.Unlock()
+		}()
+	}
+	e.mu.Unlock()
+	return c.follow(ctx, sink)
+}

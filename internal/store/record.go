@@ -35,6 +35,9 @@ const (
 	// KindTrajectory records one classified fixpoint trajectory
 	// (a fixpoint.Result) under explicit budget parameters.
 	KindTrajectory Kind = 2
+	// KindVerdict records one rendered oracle verdict (a decision or
+	// conformance report) under explicit family/seed/round parameters.
+	KindVerdict Kind = 3
 )
 
 // ext returns the filename extension of the kind.
@@ -44,6 +47,8 @@ func (k Kind) ext() string {
 		return "step"
 	case KindTrajectory:
 		return "traj"
+	case KindVerdict:
+		return "verdict"
 	default:
 		return fmt.Sprintf("kind%d", uint32(k))
 	}

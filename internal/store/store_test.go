@@ -218,3 +218,48 @@ func stepObjectPath(t *testing.T, s *Store) string {
 	}
 	return matches[0]
 }
+
+// TestVerdictRoundTrip: verdict records replay the rendered bytes
+// verbatim, and every parameter of the identity discriminates.
+func TestVerdictRoundTrip(t *testing.T) {
+	st, err := Open(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sinkless(t)
+	params := VerdictParams{Problem: "sinkless-coloring/delta=3", Rounds: 1, MaxN: 5, Family: "regular", Seed: 1}
+	rendered := []byte(`{"problem":"sinkless-coloring/delta=3","solvable":true}`)
+
+	if _, ok, err := st.GetVerdict(p, params); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	if err := st.PutVerdict(p, params, rendered); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.GetVerdict(p, params)
+	if err != nil || !ok {
+		t.Fatalf("warm lookup: ok=%v err=%v", ok, err)
+	}
+	if string(got) != string(rendered) {
+		t.Fatalf("replayed %q, want %q", got, rendered)
+	}
+
+	// Every varied parameter must miss, never mis-serve.
+	variants := []VerdictParams{params, params, params, params, params, params, params}
+	variants[0].Problem = "other"
+	variants[1].Rounds = 2
+	variants[2].MaxN = 6
+	variants[3].Family = "cycles"
+	variants[4].Seed = 2
+	variants[5].Relaxed = true
+	variants[6].Conformance = true
+	for i, v := range variants {
+		if _, ok, err := st.GetVerdict(p, v); ok || err != nil {
+			t.Fatalf("variant %d: ok=%v err=%v, want miss", i, ok, err)
+		}
+	}
+	// A different problem representation misses too.
+	if _, ok, err := st.GetVerdict(problems.SinklessColoring(4), params); ok || err != nil {
+		t.Fatalf("different problem: ok=%v err=%v, want miss", ok, err)
+	}
+}

@@ -1,4 +1,4 @@
-// Command docgate is the CI documentation gate. It enforces two
+// Command docgate is the CI documentation gate. It enforces three
 // invariants that go vet does not:
 //
 //  1. Every exported identifier (type, function, method, and each name
@@ -7,10 +7,20 @@
 //     belongs to a commented group declaration.
 //  2. The README "Commands" table lists exactly the commands present
 //     under cmd/ (pass -readme README.md -cmds cmd to enable).
+//  3. Every example directory holds a main package that opens with a
+//     package doc comment — runnable documentation must say what it
+//     demonstrates (pass -examples examples to enable; pair it with
+//     `go vet ./examples/...` in CI so the examples also keep
+//     compiling).
 //
 // Usage:
 //
-//	docgate [-readme README.md -cmds cmd] ./internal/core ./internal/intern ...
+//	docgate [-readme README.md -cmds cmd] [-examples examples] ./internal/... ./tools/...
+//
+// A package argument ending in /... is expanded recursively to every
+// subdirectory containing non-test Go files (testdata directories are
+// skipped, following the Go tool convention), so the gate cannot
+// silently miss a newly added package.
 //
 // Exit status is non-zero if any check fails; every violation is
 // printed as file:line: message so editors and CI logs can jump to it.
@@ -22,6 +32,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -32,10 +43,16 @@ import (
 func main() {
 	readme := flag.String("readme", "", "README file whose Commands table must match -cmds (empty = skip)")
 	cmds := flag.String("cmds", "", "directory of command packages to check against -readme")
+	examples := flag.String("examples", "", "directory of example programs that must carry package docs (empty = skip)")
 	flag.Parse()
 
+	dirs, err := expandPatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docgate:", err)
+		os.Exit(2)
+	}
 	bad := 0
-	for _, dir := range flag.Args() {
+	for _, dir := range dirs {
 		violations, err := checkPackageDir(dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "docgate:", err)
@@ -57,10 +74,125 @@ func main() {
 		}
 		bad += len(violations)
 	}
+	if *examples != "" {
+		violations, err := checkExamples(*examples)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docgate:", err)
+			os.Exit(2)
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		bad += len(violations)
+	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "docgate: %d violation(s)\n", bad)
 		os.Exit(1)
 	}
+}
+
+// expandPatterns resolves the package arguments: a plain directory
+// passes through, an argument ending in /... walks the prefix
+// recursively and yields every directory holding non-test Go files
+// (skipping testdata, like the go tool). The expansion is sorted, so
+// violation output stays deterministic.
+func expandPatterns(args []string) ([]string, error) {
+	var dirs []string
+	for _, arg := range args {
+		prefix, recursive := strings.CutSuffix(arg, "/...")
+		if !recursive {
+			dirs = append(dirs, arg)
+			continue
+		}
+		err := filepath.WalkDir(prefix, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			ok, err := hasGoFiles(path)
+			if err != nil {
+				return err
+			}
+			if ok {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expand %s: %w", arg, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains non-test Go files.
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// checkExamples verifies every subdirectory of dir is a documented
+// example: it holds Go files forming a main package whose package
+// clause carries a doc comment.
+func checkExamples(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		ok, err := hasGoFiles(sub)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: example directory has no Go files", sub))
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, sub, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for name, pkg := range pkgs {
+			if name != "main" {
+				out = append(out, fmt.Sprintf("%s: example package is %q, want main", sub, name))
+				continue
+			}
+			documented := false
+			for _, file := range pkg.Files {
+				if file.Doc.Text() != "" {
+					documented = true
+				}
+			}
+			if !documented {
+				out = append(out, fmt.Sprintf("%s: example has no package doc comment", sub))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // checkPackageDir parses every non-test .go file in dir and returns one
