@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -750,7 +751,7 @@ func e14Server(b *testing.B, dir string) *httptest.Server {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Cleanup(engine.Close)
+	b.Cleanup(func() { _ = engine.Close() })
 	srv := httptest.NewServer(service.Handler(engine))
 	b.Cleanup(srv.Close)
 	return srv
@@ -827,4 +828,72 @@ func BenchmarkE14ServiceConcurrent(b *testing.B) {
 			e14Post(b, srv.URL)
 		}
 	})
+}
+
+// BenchmarkE15ObservedConcurrency: E15 — the observed service under
+// client concurrency, through the full production route set (Routes:
+// query endpoints + instrument middleware + /metrics + /v1/stats).
+// Each iteration fires a concurrent burst of identical fixpoint
+// queries; the first burst is cold (singleflight dedups it), the rest
+// are warm (store hits). Beyond ns/op, the benchmark reports the
+// daemon's own instruments — dedup-ratio and peak-gate-depth from
+// /v1/stats — so the CI bench artifact records a per-commit snapshot
+// of observed admission pressure and deduplication.
+func BenchmarkE15ObservedConcurrency(b *testing.B) {
+	m := service.NewMetrics()
+	engine, err := service.New(service.Config{
+		StoreDir: filepath.Join(b.TempDir(), "obs"),
+		Metrics:  m,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = engine.Close() })
+	srv := httptest.NewServer(service.Routes(engine, m))
+	b.Cleanup(srv.Close)
+
+	const clients = 8
+	burst := func() error {
+		errc := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			go func() {
+				resp, err := http.Post(srv.URL+"/v1/fixpoint", "application/json", strings.NewReader(e14FixpointBody))
+				if err != nil {
+					errc <- err
+					return
+				}
+				_, err = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if err == nil && resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("HTTP %d", resp.StatusCode)
+				}
+				errc <- err
+			}()
+		}
+		for c := 0; c < clients; c++ {
+			if err := <-errc; err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := burst(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(stats.Singleflight.DedupRatio, "dedup-ratio")
+	b.ReportMetric(float64(stats.Gate.PeakWaiting), "peak-gate-depth")
 }

@@ -6,15 +6,17 @@
 // Usage:
 //
 //	serve [-addr :8089] [-store dir] [-workers n] [-max-inflight n]
-//	      [-grace 15s] [-v]
+//	      [-grace 15s] [-request-timeout 0] [-config file] [-v]
 //
 // Endpoints (full request/response schemas in the README, "The
-// service"):
+// service" and "Operations"):
 //
 //	POST /v1/speedup   one or more full speedup steps, or the half step
 //	POST /v1/fixpoint  classified trajectory, streamed as NDJSON
 //	POST /v1/verify    oracle verdict / conformance report
 //	GET  /v1/catalog   the paper's problem catalog
+//	GET  /v1/stats     instrument snapshot, JSON
+//	GET  /metrics      the same instruments, Prometheus text format
 //
 // Identical queries arriving concurrently share one computation
 // (singleflight on the stable problem key); finished results are
@@ -22,7 +24,18 @@
 // microseconds, byte-identical to a cold computation. -max-inflight
 // bounds how many engine computations run at once (admission control;
 // warm store hits bypass it), and -workers sizes the worker pool
-// inside each computation.
+// inside each computation. -request-timeout arms a per-request
+// wall-clock budget: a request that overruns it is cancelled at the
+// engine's next step boundary with every completed step already
+// checkpointed, so a retry resumes warm and byte-identical.
+//
+// On SIGHUP the daemon reloads -config (a flags file, one "key value"
+// per line — see loadConfig) and swaps in a fresh engine over a
+// reopened store. The swap is generational: requests in flight —
+// including long NDJSON streams — keep streaming from the engine that
+// started them, and the old engine closes only after its last request
+// finishes. Without -config a SIGHUP rebuilds the engine with the
+// current settings, which reopens the store.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and gives
 // in-flight requests -grace to finish; whatever a fixpoint iteration
@@ -37,10 +50,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -53,41 +71,211 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count inside each engine computation (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent engine computations admitted (0 = GOMAXPROCS)")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request wall-clock budget (0 = unbounded)")
+	configPath := flag.String("config", "", "flags file overriding the flags above, reloaded on SIGHUP")
 	verbose := flag.Bool("v", false, "request logging on stderr")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "serve: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
-	if err := run(*addr, *storeDir, *workers, *maxInflight, *grace, *verbose); err != nil {
+	base := settings{
+		Store:          *storeDir,
+		Workers:        *workers,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *requestTimeout,
+		Verbose:        *verbose,
+	}
+	if err := run(*addr, *configPath, base, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-// run serves until a termination signal, then drains gracefully.
-func run(addr, storeDir string, workers, maxInflight int, grace time.Duration, verbose bool) error {
-	engine, err := service.New(service.Config{
-		StoreDir:    storeDir,
-		Workers:     workers,
-		MaxInflight: maxInflight,
+// settings is the reloadable daemon configuration — everything a
+// SIGHUP may change. The listen address and grace period are
+// process-lifetime: rebinding a socket is a restart, not a reload.
+type settings struct {
+	// Store is the persistent result store directory (empty =
+	// memory-only).
+	Store string
+	// Workers is the per-computation worker count (0 = GOMAXPROCS).
+	Workers int
+	// MaxInflight is the admission-gate capacity (0 = GOMAXPROCS).
+	MaxInflight int
+	// RequestTimeout is the per-request wall-clock budget (0 =
+	// unbounded).
+	RequestTimeout time.Duration
+	// Verbose enables the stderr request log.
+	Verbose bool
+}
+
+// loadConfig overlays the flags file at path onto base (the
+// command-line flag values) and returns the merged settings. The
+// format is one "key value" pair per line; blank lines and #-comments
+// are ignored. Keys mirror the reloadable flags: store, workers,
+// max-inflight, request-timeout, v (or verbose). A key absent from the
+// file keeps its flag value, so deleting a line and SIGHUPing reverts
+// that setting. Unknown keys and unparsable values fail the whole
+// load — a reload never applies half a file.
+func loadConfig(path string, base settings) (settings, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return settings{}, err
+	}
+	s := base
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, _ := strings.Cut(line, " ")
+		val = strings.TrimSpace(val)
+		var perr error
+		switch key {
+		case "store":
+			s.Store = val
+		case "workers":
+			s.Workers, perr = strconv.Atoi(val)
+		case "max-inflight":
+			s.MaxInflight, perr = strconv.Atoi(val)
+		case "request-timeout":
+			s.RequestTimeout, perr = time.ParseDuration(val)
+		case "v", "verbose":
+			s.Verbose, perr = strconv.ParseBool(val)
+		default:
+			return settings{}, fmt.Errorf("%s:%d: unknown key %q", path, i+1, key)
+		}
+		if perr != nil {
+			return settings{}, fmt.Errorf("%s:%d: %s: %v", path, i+1, key, perr)
+		}
+	}
+	return s, nil
+}
+
+// generation binds one engine to its handler chain and counts the
+// requests it is serving, so a reload can retire the previous
+// generation — close its engine — only after its last in-flight
+// request, including long NDJSON streams, has finished.
+type generation struct {
+	engine  *service.Engine
+	handler http.Handler
+
+	mu      sync.Mutex
+	active  int
+	retired bool
+	drained bool
+	idle    chan struct{} // closed once retired with no active requests
+}
+
+// newGeneration wraps handler so every request is counted against the
+// generation for the retire drain.
+func newGeneration(engine *service.Engine, handler http.Handler) *generation {
+	g := &generation{engine: engine, idle: make(chan struct{})}
+	g.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.enter()
+		defer g.leave()
+		handler.ServeHTTP(w, r)
 	})
+	return g
+}
+
+// enter counts a request in.
+func (g *generation) enter() {
+	g.mu.Lock()
+	g.active++
+	g.mu.Unlock()
+}
+
+// leave counts a request out, completing the drain if this was the
+// retired generation's last one.
+func (g *generation) leave() {
+	g.mu.Lock()
+	g.active--
+	if g.retired && g.active == 0 && !g.drained {
+		g.drained = true
+		close(g.idle)
+	}
+	g.mu.Unlock()
+}
+
+// retire marks the generation as replaced and closes its engine once
+// its in-flight requests drain. A request that loaded this generation
+// from the swap pointer but has not yet entered may straggle past the
+// drain; it then runs against a closed engine, which degrades to a
+// clean 503 on cold computations while warm reads still succeed.
+func (g *generation) retire() {
+	g.mu.Lock()
+	g.retired = true
+	if g.active == 0 && !g.drained {
+		g.drained = true
+		close(g.idle)
+	}
+	g.mu.Unlock()
+	go func() {
+		<-g.idle
+		_ = g.engine.Close()
+	}()
+}
+
+// swapHandler atomically swaps whole handler generations under live
+// traffic: http.Server.Handler is fixed at construction, the pointer
+// inside is not.
+type swapHandler struct {
+	cur atomic.Pointer[generation]
+}
+
+// ServeHTTP dispatches to the current generation.
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.cur.Load().handler.ServeHTTP(w, r)
+}
+
+// buildGeneration assembles one engine plus its middleware chain from
+// settings. The metrics instance is process-lifetime: generations come
+// and go under SIGHUP, counters accumulate across all of them.
+func buildGeneration(s settings, m *service.Metrics, logw io.Writer) (*generation, error) {
+	engine, err := service.New(service.Config{
+		StoreDir:    s.Store,
+		Workers:     s.Workers,
+		MaxInflight: s.MaxInflight,
+		Metrics:     m,
+	})
+	if err != nil {
+		return nil, err
+	}
+	handler := service.WithRequestTimeout(s.RequestTimeout, service.Routes(engine, m))
+	if s.Verbose {
+		handler = service.LogRequests(handler, logw)
+	}
+	return newGeneration(engine, handler), nil
+}
+
+// run serves until a termination signal, swapping engine generations
+// on SIGHUP and draining gracefully on SIGINT/SIGTERM.
+func run(addr, configPath string, base settings, grace time.Duration) error {
+	s := base
+	if configPath != "" {
+		loaded, err := loadConfig(configPath, base)
+		if err != nil {
+			return err
+		}
+		s = loaded
+	}
+	m := service.NewMetrics()
+	gen, err := buildGeneration(s, m, os.Stderr)
 	if err != nil {
 		return err
 	}
-	defer engine.Close()
+	var swap swapHandler
+	swap.cur.Store(gen)
+	defer func() { _ = swap.cur.Load().engine.Close() }()
 
-	handler := service.Handler(engine)
-	if verbose {
-		handler = logRequests(handler, os.Stderr)
-	}
 	srv := &http.Server{
-		Addr:    addr,
-		Handler: handler,
+		Handler: &swap,
 		// A public daemon must not let stalled clients pin goroutines:
 		// bound header and body reads and idle keep-alives. No
 		// WriteTimeout — /v1/fixpoint legitimately streams for as long
-		// as the engine computes.
+		// as the engine computes (bound it with -request-timeout).
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -97,33 +285,60 @@ func run(addr, storeDir string, workers, maxInflight int, grace time.Duration, v
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (store: %s)\n", ln.Addr(), storeLabel(storeDir))
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (store: %s)\n", ln.Addr(), storeLabel(s.Store))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	fmt.Fprintf(os.Stderr, "serve: shutting down (grace %v)\n", grace)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		// Grace expired: close the engine so in-flight fixpoint
-		// iterations stop at their next step boundary — their
-		// completed steps are already committed to the store, which is
-		// what a restarted daemon resumes from.
-		engine.Close()
-		_ = srv.Close()
-		if !errors.Is(err, context.DeadlineExceeded) {
+	for {
+		select {
+		case err := <-errc:
 			return err
+		case <-hup:
+			// Reload: a failure keeps the current generation serving —
+			// SIGHUP can never take a healthy daemon down.
+			next := s
+			if configPath != "" {
+				loaded, err := loadConfig(configPath, base)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "serve: reload: %v (keeping current config)\n", err)
+					continue
+				}
+				next = loaded
+			}
+			ng, err := buildGeneration(next, m, os.Stderr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: reload: %v (keeping current engine)\n", err)
+				continue
+			}
+			old := swap.cur.Swap(ng)
+			s = next
+			old.retire()
+			fmt.Fprintf(os.Stderr, "serve: reloaded (store: %s)\n", storeLabel(s.Store))
+		case <-ctx.Done():
+			fmt.Fprintf(os.Stderr, "serve: shutting down (grace %v)\n", grace)
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+			defer cancel()
+			if err := srv.Shutdown(shutdownCtx); err != nil {
+				// Grace expired: close the engine so in-flight fixpoint
+				// iterations stop at their next step boundary — their
+				// completed steps are already committed to the store,
+				// which is what a restarted daemon resumes from. Close
+				// is idempotent, so this and the deferred Close coexist.
+				_ = swap.cur.Load().engine.Close()
+				_ = srv.Close()
+				if !errors.Is(err, context.DeadlineExceeded) {
+					return err
+				}
+			}
+			return nil
 		}
 	}
-	return nil
 }
 
 // storeLabel names the warm tier for the startup log line.
@@ -132,15 +347,4 @@ func storeLabel(dir string) string {
 		return "memory-only"
 	}
 	return dir
-}
-
-// logRequests wraps the handler with a method/path/duration log line
-// per request. Logging goes to stderr and never into response bodies —
-// timing in a body would break the cold/warm byte-identity contract.
-func logRequests(next http.Handler, w *os.File) http.Handler {
-	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(rw, r)
-		fmt.Fprintf(w, "serve: %s %s %.1fms\n", r.Method, r.URL.Path, float64(time.Since(start).Microseconds())/1000)
-	})
 }

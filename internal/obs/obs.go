@@ -1,0 +1,351 @@
+// Package obs is the observability substrate of the daemon: cheap
+// atomic counters, gauges and fixed-band histograms, collected in a
+// Registry that renders the Prometheus text exposition format and
+// structured JSON snapshots, plus an HTTP ResponseWriter wrapper that
+// captures status and byte counts without breaking streaming.
+//
+// The package exists so that instrumentation can sit directly on hot
+// paths (singleflight admission, store lookups, NDJSON streaming)
+// without changing their behavior or cost profile: every instrument is
+// one or two atomic adds, no locks, no allocation after registration.
+//
+// The cardinal rule of the service's observability — metrics are read
+// through GET /metrics and GET /v1/stats and NEVER enter query
+// response bodies — is enforced structurally: nothing in this package
+// is reachable from response rendering, so the cold/warm byte-identity
+// contract of internal/service cannot be violated by instrumentation.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus counter contract).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depths, slots in use).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// RaiseTo lifts the gauge to v if v exceeds the current value — a
+// concurrency-safe running maximum (peak queue depth).
+func (g *Gauge) RaiseTo(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-band duration histogram: cumulative-on-render
+// buckets over ascending upper bounds in seconds, plus a total count
+// and sum. Observe is two atomic adds and a short bounds scan — cheap
+// enough for per-request latency on the hot path.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, seconds; +Inf implied
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// newHistogram returns a histogram over the given ascending bounds.
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && secs > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy for the JSON stats endpoint.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:      h.count.Load(),
+		SumSeconds: float64(h.sumNs.Load()) / 1e9,
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		s.Buckets = append(s.Buckets, BucketCount{LE: leLabel(h.bounds, i), Count: cum})
+	}
+	return s
+}
+
+// HistogramSnapshot is a rendered histogram: cumulative bucket counts
+// (Prometheus semantics), total count and sum.
+type HistogramSnapshot struct {
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// SumSeconds is the sum of all observed durations.
+	SumSeconds float64 `json:"sum_seconds"`
+	// Buckets is the cumulative count per upper bound, ending at "+Inf".
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	// LE is the bucket's inclusive upper bound in seconds, rendered as
+	// a string so "+Inf" survives JSON.
+	LE string `json:"le"`
+	// Count is the cumulative number of observations <= LE.
+	Count int64 `json:"count"`
+}
+
+// leLabel renders the upper bound of bucket i ("+Inf" for the last).
+func leLabel(bounds []float64, i int) string {
+	if i >= len(bounds) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(bounds[i], 'g', -1, 64)
+}
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	// Name is the label name.
+	Name string
+	// Value is the label value.
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Registry holds named metric families and renders them. Registration
+// is idempotent: asking for the same (name, labels) twice returns the
+// same instrument, so lazily-registered per-status counters need no
+// caller-side synchronization. Instrument reads and writes are
+// lock-free; only registration and rendering take the registry lock.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// family is all series of one metric name.
+type family struct {
+	name, help, typ string
+	series          []*series
+	byKey           map[string]*series
+}
+
+// series is one labeled instrument.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under (name, labels),
+// creating it on first use. The help string is fixed by the first
+// registration of the name; mixing metric types under one name panics.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.seriesOf(name, help, "counter", nil, labels)
+	return s.counter
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.seriesOf(name, help, "gauge", nil, labels)
+	return s.gauge
+}
+
+// Histogram returns the histogram registered under (name, labels) with
+// the given ascending bucket bounds in seconds (+Inf is implied).
+// Bounds are fixed by the first registration of the name.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.seriesOf(name, help, "histogram", bounds, labels)
+	return s.hist
+}
+
+// seriesOf finds or creates one labeled series.
+func (r *Registry) seriesOf(name, help, typ string, bounds []float64, labels []Label) *series {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, byKey: make(map[string]*series)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	s, ok := f.byKey[key]
+	if !ok {
+		s = &series{labels: append([]Label(nil), labels...)}
+		switch typ {
+		case "counter":
+			s.counter = &Counter{}
+		case "gauge":
+			s.gauge = &Gauge{}
+		case "histogram":
+			s.hist = newHistogram(bounds)
+		}
+		f.byKey[key] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// labelKey serializes a label set into a map key.
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4). Families appear in
+// registration order; series within a family are sorted by label set,
+// so the output is deterministic regardless of registration
+// interleaving.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		ordered := append([]*series(nil), f.series...)
+		sort.Slice(ordered, func(i, j int) bool {
+			return labelKey(ordered[i].labels) < labelKey(ordered[j].labels)
+		})
+		for _, s := range ordered {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one labeled instrument.
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.typ {
+	case "counter":
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels), s.counter.Value())
+		return err
+	case "gauge":
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels), s.gauge.Value())
+		return err
+	case "histogram":
+		snap := s.hist.Snapshot()
+		for _, b := range snap.Buckets {
+			withLE := append(append([]Label(nil), s.labels...), Label{Name: "le", Value: b.LE})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(withLE), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(s.labels),
+			strconv.FormatFloat(snap.SumSeconds, 'g', -1, 64)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s.labels), snap.Count)
+		return err
+	}
+	return nil
+}
+
+// labelString renders a label set as {a="b",c="d"} ("" when empty).
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Handler serves the registry in the Prometheus text format on GET.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

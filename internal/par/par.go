@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // WorkerCount resolves an effective worker count for n independent work
@@ -146,7 +147,28 @@ func (b *Budget) Take() bool {
 // service needs to keep an unbounded request stream from launching an
 // unbounded number of engine computations.
 type Gate struct {
-	slots chan struct{}
+	slots    chan struct{}
+	observer GateObserver // nil = unobserved
+}
+
+// GateObserver receives admission-control events from a Gate, the seam
+// the service's metrics layer hangs queue-depth gauges and wait-time
+// histograms on. Every Enter call fires GateQueued exactly once,
+// followed by exactly one of GateEntered or GateRefused; every Leave
+// fires GateLeft. Implementations must be safe for concurrent use and
+// must not block — they run inline on the admission path.
+type GateObserver interface {
+	// GateQueued fires when an Enter caller starts waiting for a slot
+	// (including callers that acquire one immediately).
+	GateQueued()
+	// GateEntered fires when an Enter caller acquires a slot, with the
+	// time it spent waiting.
+	GateEntered(wait time.Duration)
+	// GateRefused fires when an Enter caller gives up (its context was
+	// done), with the time it spent waiting.
+	GateRefused(wait time.Duration)
+	// GateLeft fires when a slot is released.
+	GateLeft()
 }
 
 // NewGate returns a gate admitting at most n concurrent holders;
@@ -161,12 +183,34 @@ func NewGate(n int) *Gate {
 // Cap reports the gate's admission capacity.
 func (g *Gate) Cap() int { return cap(g.slots) }
 
+// SetObserver attaches an admission observer (nil detaches). It must
+// be called before the gate is shared between goroutines — typically
+// right after NewGate — as the field is read without synchronization
+// on the admission path.
+func (g *Gate) SetObserver(o GateObserver) { g.observer = o }
+
 // Enter blocks until a slot is free or ctx is done, and reports whether
 // the slot was acquired. A context that is already done is always
 // refused, even when slots are free — so a shutdown signal reliably
 // stops new admissions. Every successful Enter must be paired with
 // exactly one Leave; after a false return the caller must not Leave.
 func (g *Gate) Enter(ctx context.Context) bool {
+	if o := g.observer; o != nil {
+		o.GateQueued()
+		start := time.Now()
+		ok := g.enter(ctx)
+		if ok {
+			o.GateEntered(time.Since(start))
+		} else {
+			o.GateRefused(time.Since(start))
+		}
+		return ok
+	}
+	return g.enter(ctx)
+}
+
+// enter is the unobserved admission path.
+func (g *Gate) enter(ctx context.Context) bool {
 	select {
 	case <-ctx.Done():
 		return false
@@ -181,4 +225,9 @@ func (g *Gate) Enter(ctx context.Context) bool {
 }
 
 // Leave releases a slot acquired by Enter.
-func (g *Gate) Leave() { <-g.slots }
+func (g *Gate) Leave() {
+	<-g.slots
+	if o := g.observer; o != nil {
+		o.GateLeft()
+	}
+}

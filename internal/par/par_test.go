@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/par"
 )
@@ -136,5 +137,65 @@ func TestGateEnterCancel(t *testing.T) {
 func TestGateDefaultCap(t *testing.T) {
 	if got := par.NewGate(0).Cap(); got < 1 {
 		t.Fatalf("default capacity %d, want >= 1", got)
+	}
+}
+
+// countingObserver tallies gate events for the observer test.
+type countingObserver struct {
+	queued, entered, refused, left atomic.Int64
+	waits                          atomic.Int64 // nonzero waits observed
+}
+
+func (o *countingObserver) GateQueued() { o.queued.Add(1) }
+func (o *countingObserver) GateEntered(wait time.Duration) {
+	o.entered.Add(1)
+	if wait > 0 {
+		o.waits.Add(1)
+	}
+}
+func (o *countingObserver) GateRefused(wait time.Duration) { o.refused.Add(1) }
+func (o *countingObserver) GateLeft()                      { o.left.Add(1) }
+
+// TestGateObserver: every Enter fires GateQueued then exactly one of
+// GateEntered/GateRefused, every Leave fires GateLeft, and admission
+// semantics are unchanged by observation.
+func TestGateObserver(t *testing.T) {
+	obs := &countingObserver{}
+	g := par.NewGate(1)
+	g.SetObserver(obs)
+
+	if !g.Enter(context.Background()) {
+		t.Fatal("first Enter must succeed")
+	}
+	// Full gate + canceled context: refused, no slot consumed.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if g.Enter(ctx) {
+		t.Fatal("Enter with canceled context on a full gate must fail")
+	}
+	// A second holder queues until the first leaves.
+	acquired := make(chan struct{})
+	go func() {
+		if g.Enter(context.Background()) {
+			close(acquired)
+		}
+	}()
+	// The waiter may or may not have queued yet; Leave unblocks it
+	// either way.
+	g.Leave()
+	<-acquired
+	g.Leave()
+
+	if got := obs.queued.Load(); got != 3 {
+		t.Fatalf("GateQueued fired %d times, want 3", got)
+	}
+	if got := obs.entered.Load(); got != 2 {
+		t.Fatalf("GateEntered fired %d times, want 2", got)
+	}
+	if got := obs.refused.Load(); got != 1 {
+		t.Fatalf("GateRefused fired %d times, want 1", got)
+	}
+	if got := obs.left.Load(); got != 2 {
+		t.Fatalf("GateLeft fired %d times, want 2", got)
 	}
 }

@@ -74,7 +74,9 @@ func (e *Engine) Fixpoint(ctx context.Context, req FixpointRequest, sink func(li
 
 	// Warm path: replay the stored trajectory without touching the
 	// gate or the flight table.
-	if res, ok := e.lookupTrajectory(key, p, params); ok {
+	res, ok := e.lookupTrajectory(key, p, params)
+	e.metrics.warmLookup("trajectory", ok)
+	if ok {
 		for _, line := range renderTrajectory(res) {
 			if err := sink(line); err != nil {
 				return err
@@ -108,7 +110,10 @@ func (e *Engine) lookupTrajectory(key string, p *core.Problem, params store.Traj
 
 // computeFixpoint runs the driver under the admission gate, emitting
 // each trajectory line as the driver appends the entry, and commits
-// the classified trajectory to the warm tier on success.
+// the classified trajectory to the warm tier on success. The run is
+// bounded by the call's context — engine shutdown and subscriber
+// abandonment both stop it at the next step boundary, with every
+// completed step already checkpointed through the step memo.
 func (e *Engine) computeFixpoint(c *call, p *core.Problem, params store.TrajectoryParams, key string) (any, error) {
 	if err := e.enter(); err != nil {
 		return nil, err
@@ -118,7 +123,7 @@ func (e *Engine) computeFixpoint(c *call, p *core.Problem, params store.Trajecto
 		MaxSteps: params.MaxSteps,
 		Core:     e.coreOpts(params.MaxStates),
 		Memo:     e.stepMemo(params.MaxStates),
-		Ctx:      e.runCtx,
+		Ctx:      c.ctx,
 		Observe: func(index int, q *core.Problem) {
 			c.emit(marshalLine(FixpointEntry{Index: index, Problem: viewOf(q)}))
 			if e.stepHook != nil {
@@ -131,6 +136,12 @@ func (e *Engine) computeFixpoint(c *call, p *core.Problem, params store.Trajecto
 			// Interrupted by shutdown. Completed steps are already in
 			// the step memo; a restarted engine resumes from them.
 			return nil, ErrClosed
+		}
+		if c.ctx.Err() != nil {
+			// Every subscriber departed and the call was abandoned; a
+			// racing late subscriber sees a retryable failure. The
+			// memoized steps make its retry a warm resume.
+			return nil, unavailable("computation canceled: every subscriber disconnected")
 		}
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,8 +27,20 @@ const MaxRequestBody = 1 << 20
 // full verdict body. The fixpoint stream reports failures occurring
 // after streaming began as a final `{"error": "..."}` line, since the
 // 200 header is already on the wire.
+//
+// Handler serves the query endpoints only; Routes adds GET /metrics
+// and GET /v1/stats plus the instrumented middleware — that is what
+// cmd/serve mounts.
 func Handler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
+	registerQueryRoutes(mux, e, nil)
+	return mux
+}
+
+// registerQueryRoutes mounts the four query endpoints on mux,
+// recording stream volume into m (nil = unobserved). Metrics are never
+// consulted when rendering a body.
+func registerQueryRoutes(mux *http.ServeMux, e *Engine, m *Metrics) {
 	mux.HandleFunc("POST /v1/speedup", func(w http.ResponseWriter, r *http.Request) {
 		var req SpeedupRequest
 		if err := readJSON(w, r, &req); err != nil {
@@ -48,7 +61,11 @@ func Handler(e *Engine) http.Handler {
 			return
 		}
 		streaming := false
-		flusher, _ := w.(http.Flusher)
+		// ResponseController unwraps middleware wrappers (obs.Wrap's
+		// Unwrap chain), so flushing works through any depth of
+		// logging/metrics middleware — a plain w.(http.Flusher)
+		// assertion would fail on the first wrapper that hides it.
+		rc := http.NewResponseController(w)
 		err := e.Fixpoint(r.Context(), req, func(line []byte) error {
 			if !streaming {
 				w.Header().Set("Content-Type", "application/x-ndjson")
@@ -58,9 +75,8 @@ func Handler(e *Engine) http.Handler {
 			if _, werr := w.Write(line); werr != nil {
 				return werr
 			}
-			if flusher != nil {
-				flusher.Flush()
-			}
+			m.streamedLine(len(line))
+			_ = rc.Flush() // ErrNotSupported = non-streaming transport; lines still arrive at the end
 			return nil
 		})
 		switch {
@@ -70,8 +86,9 @@ func Handler(e *Engine) http.Handler {
 		default:
 			// Mid-stream failure: the status is already committed, so
 			// the error travels as the final NDJSON line.
-			line, _ := json.Marshal(map[string]string{"error": err.Error()})
-			_, _ = w.Write(append(line, '\n'))
+			line := append(mustMarshal(map[string]string{"error": err.Error()}), '\n')
+			_, _ = w.Write(line)
+			m.streamedLine(len(line))
 		}
 	})
 	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
@@ -110,14 +127,23 @@ func Handler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Catalog())
 	})
-	return mux
 }
 
 // readJSON decodes a size-capped JSON request body, rejecting trailing
-// garbage; failures map to 400.
+// garbage; an oversized body maps to 413, other failures to 400.
 func readJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody))
 	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			// The decode error must not masquerade as malformed JSON:
+			// the body was cut off by the size cap, which is the
+			// client's 413, not a 400.
+			return &StatusError{
+				Code: http.StatusRequestEntityTooLarge,
+				Err:  fmt.Errorf("request body exceeds %d bytes", maxErr.Limit),
+			}
+		}
 		return badRequest("request body: %v", err)
 	}
 	if dec.More() {
@@ -152,4 +178,14 @@ func writeError(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(StatusOf(err))
 	_, _ = w.Write(append(body, '\n'))
+}
+
+// mustMarshal marshals a value that cannot fail (closed map/struct
+// types only).
+func mustMarshal(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("service: marshal: %v", err))
+	}
+	return data
 }

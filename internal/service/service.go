@@ -26,7 +26,17 @@
 // fixpoint iteration, oracle search) pass through a par.Gate bounding
 // how many run concurrently; warm store reads bypass the gate. An
 // unbounded request stream therefore queues instead of launching an
-// unbounded number of enumerations.
+// unbounded number of enumerations. A computation whose every
+// subscriber has departed (disconnect, timeout) is cancelled at its
+// next step boundary — its completed steps are already memoized, so a
+// retried query resumes byte-identically instead of recomputing.
+//
+// Observability: with Config.Metrics attached, the engine counts
+// singleflight leaders/followers, warm-tier hits and misses per record
+// tier, and gate queue depth/wait time (via par.GateObserver). The
+// instruments feed GET /metrics and GET /v1/stats exclusively —
+// nothing in response rendering reads them, which is how the
+// byte-identity contract survives instrumentation.
 //
 // Shutdown: Close cancels the engine's run context. In-flight fixpoint
 // iterations stop at the next step boundary, but every step they
@@ -63,6 +73,10 @@ type Config struct {
 	// MaxInflight bounds how many engine computations run concurrently
 	// (the par.Gate admission budget); 0 = GOMAXPROCS.
 	MaxInflight int
+	// Metrics, when non-nil, receives the engine's singleflight,
+	// warm-lookup and admission-gate instrumentation. Metrics are
+	// observational only: no response byte ever depends on them.
+	Metrics *Metrics
 }
 
 // Engine answers speedup, fixpoint, verify and catalog queries with
@@ -73,9 +87,11 @@ type Engine struct {
 	st      *store.Store // nil = memory-only
 	gate    *par.Gate
 	workers int
+	metrics *Metrics // nil = unobserved
 
-	runCtx context.Context
-	stop   context.CancelFunc
+	runCtx    context.Context
+	stop      context.CancelFunc
+	closeOnce sync.Once
 
 	mu           sync.Mutex
 	stepMemos    map[int]fixpoint.Memo          // memory mode: budget → step memo
@@ -95,12 +111,14 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		workers:      cfg.Workers,
 		gate:         par.NewGate(cfg.MaxInflight),
+		metrics:      cfg.Metrics,
 		stepMemos:    make(map[int]fixpoint.Memo),
 		halves:       make(map[string]*core.Problem),
 		trajCache:    make(map[string]*fixpoint.Result),
 		verdictCache: make(map[store.VerdictParams][]byte),
 		flight:       make(map[string]*call),
 	}
+	e.metrics.observeGate(e.gate)
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
@@ -119,8 +137,14 @@ func (e *Engine) Store() *store.Store { return e.st }
 // Close cancels the engine's run context: computations in flight stop
 // at their next step boundary (their completed steps remain committed
 // to the store), and subsequent queries fail with ErrClosed. Close is
-// idempotent.
-func (e *Engine) Close() { e.stop() }
+// idempotent — only the first call does anything, and any shutdown
+// error is reported exactly once (later calls return nil), so a
+// deferred Close racing an explicit shutdown-path Close (the cmd/serve
+// grace-expiry sequence) is safe.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(e.stop)
+	return nil
+}
 
 // ErrClosed reports a query issued against a closed (shutting-down)
 // engine; the HTTP layer maps it to 503.
@@ -137,20 +161,45 @@ func (e *Engine) coreOpts(maxStates int) []core.Option {
 }
 
 // stepMemo returns the budget-scoped speedup-step memo: store-backed
-// when a store is configured, a per-budget in-memory map otherwise.
+// when a store is configured, a per-budget in-memory map otherwise,
+// wrapped for hit/miss accounting when metrics are attached.
 func (e *Engine) stepMemo(maxStates int) fixpoint.Memo {
+	var m fixpoint.Memo
 	if e.st != nil {
-		return e.st.StepMemo(maxStates)
+		m = e.st.StepMemo(maxStates)
+	} else {
+		e.mu.Lock()
+		mm, ok := e.stepMemos[maxStates]
+		if !ok {
+			mm = fixpoint.NewMapMemo()
+			e.stepMemos[maxStates] = mm
+		}
+		e.mu.Unlock()
+		m = mm
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	m, ok := e.stepMemos[maxStates]
-	if !ok {
-		m = fixpoint.NewMapMemo()
-		e.stepMemos[maxStates] = m
+	if e.metrics != nil {
+		m = observedMemo{inner: m, metrics: e.metrics}
 	}
 	return m
 }
+
+// observedMemo wraps a step memo with warm-tier hit/miss accounting.
+// Lookups and stores pass through untouched — observation can never
+// change what a memo returns.
+type observedMemo struct {
+	inner   fixpoint.Memo
+	metrics *Metrics
+}
+
+// LookupStep counts the lookup outcome and delegates.
+func (o observedMemo) LookupStep(in *core.Problem) (*core.Problem, bool) {
+	out, ok := o.inner.LookupStep(in)
+	o.metrics.warmLookup("step", ok)
+	return out, ok
+}
+
+// StoreStep delegates.
+func (o observedMemo) StoreStep(in, out *core.Problem) { o.inner.StoreStep(in, out) }
 
 // enter acquires an engine-computation slot, failing with ErrClosed
 // once the engine is shutting down.
@@ -162,14 +211,26 @@ func (e *Engine) enter() error {
 }
 
 // call is one deduplicated computation in flight: subscribers stream
-// its finalized chunks as they appear and collect its final value.
+// its finalized chunks as they appear and collect its final value. The
+// call carries its computation context (derived from the engine's run
+// context): when the last subscriber departs before the computation
+// finishes, the call is detached from the flight table and its context
+// cancelled, so an abandoned fixpoint stops at its next step boundary
+// instead of burning the gate slot for nobody — with every completed
+// step already memoized, a retry resumes byte-identically.
 type call struct {
+	ctx    context.Context    // computation context: engine run ctx + abandonment
+	cancel context.CancelFunc // cancels ctx; idempotent
 	mu     sync.Mutex
 	wake   chan struct{} // closed and replaced on every state change
 	chunks [][]byte      // finalized stream chunks, in emission order
 	done   bool
 	val    any
 	err    error
+
+	subs      int    // live subscribers
+	abandoned bool   // the abandon path already ran
+	abandon   func() // detaches the call and cancels its context
 }
 
 func newCall() *call {
@@ -196,9 +257,27 @@ func (c *call) finish(val any, err error) {
 
 // follow streams the call's chunks through sink (when non-nil) as they
 // finalize and returns the final value. It honors ctx for the waiting
-// subscriber without affecting the computation, which keeps running for
-// the other subscribers (and for the cache).
+// subscriber without affecting the computation — unless this was the
+// last subscriber, in which case departing abandons the call (see
+// call). A subscriber that leaves early (disconnect, timeout) returns
+// its ctx error; the computation keeps running for the remaining
+// subscribers.
 func (c *call) follow(ctx context.Context, sink func([]byte) error) (any, error) {
+	c.mu.Lock()
+	c.subs++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.subs--
+		drop := c.subs == 0 && !c.done && !c.abandoned && c.abandon != nil
+		if drop {
+			c.abandoned = true
+		}
+		c.mu.Unlock()
+		if drop {
+			c.abandon()
+		}
+	}()
 	next := 0
 	for {
 		c.mu.Lock()
@@ -224,24 +303,44 @@ func (c *call) follow(ctx context.Context, sink func([]byte) error) (any, error)
 	}
 }
 
-// inflight deduplicates computations by key: the first caller spawns
-// compute on a detached goroutine (so the computation outlives any one
-// subscriber and its result is cached even if every client goes away),
-// and every caller — first included — subscribes via follow. compute
-// must call finish exactly once and may emit chunks before that.
+// inflight deduplicates computations by key: the first caller (the
+// singleflight leader) spawns compute on its own goroutine, and every
+// caller — leader included — subscribes via follow. The computation
+// outlives any one subscriber, but not all of them: when the last
+// subscriber departs before compute finishes, the call is detached
+// from the flight table (so a fresh identical query starts a fresh
+// call, replaying the memoized prefix) and its context is cancelled,
+// stopping the computation at its next step boundary. compute must
+// call finish exactly once and may emit chunks before that.
 func (e *Engine) inflight(ctx context.Context, key string, sink func([]byte) error, compute func(c *call)) (any, error) {
 	e.mu.Lock()
 	c, ok := e.flight[key]
 	if !ok {
 		c = newCall()
+		c.ctx, c.cancel = context.WithCancel(e.runCtx)
+		c.abandon = func() {
+			e.dropCall(key, c)
+			c.cancel()
+		}
 		e.flight[key] = c
 		go func() {
 			compute(c)
-			e.mu.Lock()
-			delete(e.flight, key)
-			e.mu.Unlock()
+			e.dropCall(key, c)
+			c.cancel()
 		}()
 	}
 	e.mu.Unlock()
+	e.metrics.flightCall(!ok)
 	return c.follow(ctx, sink)
+}
+
+// dropCall removes a call from the flight table if it is still the
+// call registered under key (abandonment and computation completion
+// both drop; a fresh call may already have replaced an abandoned one).
+func (e *Engine) dropCall(key string, c *call) {
+	e.mu.Lock()
+	if e.flight[key] == c {
+		delete(e.flight, key)
+	}
+	e.mu.Unlock()
 }

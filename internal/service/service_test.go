@@ -38,7 +38,7 @@ func newEngine(t *testing.T, dir string) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { _ = e.Close() })
 	return e
 }
 
@@ -172,6 +172,9 @@ func TestRequestValidation(t *testing.T) {
 		{"verify rounds beyond cap", "/v1/verify", fmt.Sprintf(`{"problem":"3-coloring/delta=2","rounds":%d}`, MaxVerifyRounds+1), http.StatusBadRequest},
 		{"verify n beyond cap", "/v1/verify", fmt.Sprintf(`{"problem":"3-coloring/delta=2","n":%d}`, MaxVerifyN+1), http.StatusBadRequest},
 		{"max states beyond cap", "/v1/speedup", fmt.Sprintf(`{"problem":"x","max_states":%d}`, MaxRequestStates+1), http.StatusBadRequest},
+		// An oversized body is the client's 413, not a masqueraded
+		// 400 "malformed JSON" from the truncated read.
+		{"oversized body", "/v1/speedup", fmt.Sprintf(`{"problem":%q}`, strings.Repeat("x", MaxRequestBody)), http.StatusRequestEntityTooLarge},
 	} {
 		resp, err := http.Post(srv.URL+tc.path, "application/json", strings.NewReader(tc.body))
 		if err != nil {

@@ -119,6 +119,7 @@ func (e *Engine) halfStep(p *core.Problem, maxStates int) (*core.Problem, error)
 	e.mu.Lock()
 	out, ok := e.halves[key]
 	e.mu.Unlock()
+	e.metrics.warmLookup("half", ok)
 	if ok {
 		return out, nil
 	}

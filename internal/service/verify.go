@@ -111,7 +111,9 @@ func (e *Engine) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse
 	// cannot drift from the store-record identity the way a
 	// hand-written field list could.
 	key := fmt.Sprintf("verify|%s|%+v", core.StableKey(p), params)
-	if body, ok := e.lookupVerdict(p, params); ok {
+	body, ok := e.lookupVerdict(p, params)
+	e.metrics.warmLookup("verdict", ok)
+	if ok {
 		return &VerifyResponse{Negative: negativeOf(body), Body: body}, nil
 	}
 	val, err := e.inflight(ctx, key, nil, func(c *call) {

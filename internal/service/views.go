@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -78,8 +79,16 @@ func infeasible(err error) error {
 	return &StatusError{Code: http.StatusUnprocessableEntity, Err: err}
 }
 
+// unavailable tags a transient retryable failure (HTTP 503), e.g. a
+// computation abandoned because its every subscriber departed.
+func unavailable(format string, args ...any) error {
+	return &StatusError{Code: http.StatusServiceUnavailable, Err: fmt.Errorf(format, args...)}
+}
+
 // StatusOf maps a query error to its HTTP status: an explicit
-// StatusError's code, 503 for a shutting-down engine, 500 otherwise.
+// StatusError's code, 503 for a shutting-down engine, 504 for a
+// request that ran out of its wall-clock budget (the per-request
+// timeout cmd/serve arms), 500 otherwise.
 func StatusOf(err error) int {
 	var se *StatusError
 	if errors.As(err, &se) {
@@ -87,6 +96,9 @@ func StatusOf(err error) int {
 	}
 	if errors.Is(err, ErrClosed) {
 		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
 }
