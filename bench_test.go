@@ -897,3 +897,59 @@ func BenchmarkE15ObservedConcurrency(b *testing.B) {
 	b.ReportMetric(stats.Singleflight.DedupRatio, "dedup-ratio")
 	b.ReportMetric(float64(stats.Gate.PeakWaiting), "peak-gate-depth")
 }
+
+// BenchmarkE16PreloadTier: E16 — the packed warm-cache artifact
+// against the JSON-store warm tier it replaces on the read path. Both
+// variants answer the E14 flagship query through the full HTTP stack
+// with byte-identical bodies; warm-store replays the record from the
+// object tree (open + checksum per lookup), warm-pack replays it from
+// the mmapped artifact (one validation at open, rank/select index per
+// lookup). The delta against E14's warm-store is the preload tier's
+// latency and allocation win.
+func BenchmarkE16PreloadTier(b *testing.B) {
+	// Build the artifact once: prime a store cold, then pack it.
+	seed := filepath.Join(b.TempDir(), "seed")
+	prime := e14Server(b, seed)
+	e14Post(b, prime.URL)
+	prime.Close()
+	st, err := store.Open(seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	packPath := filepath.Join(b.TempDir(), "warm.repack")
+	if _, err := st.Pack(packPath); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("fixpoint/warm-store", func(b *testing.B) {
+		srv := e14Server(b, seed)
+		e14Post(b, srv.URL)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e14Post(b, srv.URL)
+		}
+	})
+	b.Run("fixpoint/warm-pack", func(b *testing.B) {
+		pr, err := store.OpenPack(packPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine, err := service.New(service.Config{
+			StoreDir: filepath.Join(b.TempDir(), "fresh"),
+			Pack:     pr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = engine.Close() })
+		srv := httptest.NewServer(service.Handler(engine))
+		b.Cleanup(srv.Close)
+		e14Post(b, srv.URL)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e14Post(b, srv.URL)
+		}
+	})
+}

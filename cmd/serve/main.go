@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	serve [-addr :8089] [-store dir] [-workers n] [-max-inflight n]
-//	      [-grace 15s] [-request-timeout 0] [-config file] [-v]
+//	serve [-addr :8089] [-store dir] [-preload pack] [-workers n]
+//	      [-max-inflight n] [-grace 15s] [-request-timeout 0]
+//	      [-config file] [-v]
 //
 // Endpoints (full request/response schemas in the README, "The
 // service" and "Operations"):
@@ -28,6 +29,14 @@
 // wall-clock budget: a request that overruns it is cancelled at the
 // engine's next step boundary with every completed step already
 // checkpointed, so a retry resumes warm and byte-identical.
+//
+// -preload opens a packed warm-cache artifact (built by cmd/sweep
+// -pack) as a read-only tier consulted before the store and before
+// computing cold: the whole packed catalog answers from one mmapped
+// file without touching the store's object tree, byte-identical to the
+// store-served and cold replies. A pack that fails validation
+// (checksum, truncation, version mismatch) is logged and skipped — the
+// daemon starts and serves without the pack tier rather than failing.
 //
 // On SIGHUP the daemon reloads -config (a flags file, one "key value"
 // per line — see loadConfig) and swaps in a fresh engine over a
@@ -63,11 +72,13 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8089", "listen address")
 	storeDir := flag.String("store", "", "persistent result store directory (empty = memory-only warmth)")
+	preload := flag.String("preload", "", "packed warm-cache artifact preloaded as a read-only tier (from sweep -pack)")
 	workers := flag.Int("workers", 0, "worker count inside each engine computation (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent engine computations admitted (0 = GOMAXPROCS)")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
@@ -81,6 +92,7 @@ func main() {
 	}
 	base := settings{
 		Store:          *storeDir,
+		Preload:        *preload,
 		Workers:        *workers,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
@@ -99,6 +111,9 @@ type settings struct {
 	// Store is the persistent result store directory (empty =
 	// memory-only).
 	Store string
+	// Preload is the packed warm-cache artifact path (empty = no pack
+	// tier). Each generation reopens — and thus revalidates — the pack.
+	Preload string
 	// Workers is the per-computation worker count (0 = GOMAXPROCS).
 	Workers int
 	// MaxInflight is the admission-gate capacity (0 = GOMAXPROCS).
@@ -113,8 +128,8 @@ type settings struct {
 // loadConfig overlays the flags file at path onto base (the
 // command-line flag values) and returns the merged settings. The
 // format is one "key value" pair per line; blank lines and #-comments
-// are ignored. Keys mirror the reloadable flags: store, workers,
-// max-inflight, request-timeout, v (or verbose). A key absent from the
+// are ignored. Keys mirror the reloadable flags: store, preload,
+// workers, max-inflight, request-timeout, v (or verbose). A key absent from the
 // file keeps its flag value, so deleting a line and SIGHUPing reverts
 // that setting. Unknown keys and unparsable values fail the whole
 // load — a reload never applies half a file.
@@ -135,6 +150,8 @@ func loadConfig(path string, base settings) (settings, error) {
 		switch key {
 		case "store":
 			s.Store = val
+		case "preload":
+			s.Preload = val
 		case "workers":
 			s.Workers, perr = strconv.Atoi(val)
 		case "max-inflight":
@@ -232,15 +249,31 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // buildGeneration assembles one engine plus its middleware chain from
 // settings. The metrics instance is process-lifetime: generations come
-// and go under SIGHUP, counters accumulate across all of them.
+// and go under SIGHUP, counters accumulate across all of them. A
+// -preload pack that fails to open degrades the generation to serving
+// without the pack tier (logged to logw) — preloading accelerates the
+// daemon, it must never take it down.
 func buildGeneration(s settings, m *service.Metrics, logw io.Writer) (*generation, error) {
+	var pack *store.PackReader
+	if s.Preload != "" {
+		pr, err := store.OpenPack(s.Preload)
+		if err != nil {
+			fmt.Fprintf(logw, "serve: preload %s: %v (serving without the pack tier)\n", s.Preload, err)
+		} else {
+			pack = pr
+		}
+	}
 	engine, err := service.New(service.Config{
 		StoreDir:    s.Store,
 		Workers:     s.Workers,
 		MaxInflight: s.MaxInflight,
 		Metrics:     m,
+		Pack:        pack,
 	})
 	if err != nil {
+		if pack != nil {
+			_ = pack.Close()
+		}
 		return nil, err
 	}
 	handler := service.WithRequestTimeout(s.RequestTimeout, service.Routes(engine, m))
@@ -285,7 +318,7 @@ func run(addr, configPath string, base settings, grace time.Duration) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (store: %s)\n", ln.Addr(), storeLabel(s.Store))
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (store: %s%s)\n", ln.Addr(), storeLabel(s.Store), preloadLabel(s.Preload))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -319,7 +352,7 @@ func run(addr, configPath string, base settings, grace time.Duration) error {
 			old := swap.cur.Swap(ng)
 			s = next
 			old.retire()
-			fmt.Fprintf(os.Stderr, "serve: reloaded (store: %s)\n", storeLabel(s.Store))
+			fmt.Fprintf(os.Stderr, "serve: reloaded (store: %s%s)\n", storeLabel(s.Store), preloadLabel(s.Preload))
 		case <-ctx.Done():
 			fmt.Fprintf(os.Stderr, "serve: shutting down (grace %v)\n", grace)
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
@@ -347,4 +380,13 @@ func storeLabel(dir string) string {
 		return "memory-only"
 	}
 	return dir
+}
+
+// preloadLabel names the pack tier for the startup log line; empty
+// when no pack is configured.
+func preloadLabel(path string) string {
+	if path == "" {
+		return ""
+	}
+	return ", preload: " + path
 }

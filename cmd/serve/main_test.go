@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // probeProblem is sinkless coloring at Δ=3 — a one-step speedup, cheap
@@ -36,11 +37,11 @@ func TestLoadConfig(t *testing.T) {
 		return path
 	}
 
-	got, err := loadConfig(write("# full override\n\nstore /data\nworkers 8\nmax-inflight 4\nrequest-timeout 2m\nv true\n"), base)
+	got, err := loadConfig(write("# full override\n\nstore /data\npreload /data/warm.repack\nworkers 8\nmax-inflight 4\nrequest-timeout 2m\nv true\n"), base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := settings{Store: "/data", Workers: 8, MaxInflight: 4, RequestTimeout: 2 * time.Minute, Verbose: true}
+	want := settings{Store: "/data", Preload: "/data/warm.repack", Workers: 8, MaxInflight: 4, RequestTimeout: 2 * time.Minute, Verbose: true}
 	if got != want {
 		t.Fatalf("full file: got %+v, want %+v", got, want)
 	}
@@ -348,5 +349,113 @@ func TestRunBadConfigFailsFast(t *testing.T) {
 	}
 	if err := run("127.0.0.1:0", path, settings{}, time.Second); err == nil || !strings.Contains(err.Error(), "unknown key") {
 		t.Fatalf("run with a broken config returned %v, want unknown-key error", err)
+	}
+}
+
+// postFixpoint issues one fixpoint query against gen's handler and
+// returns the NDJSON body.
+func postFixpoint(t *testing.T, gen *generation) []byte {
+	t.Helper()
+	srv := httptest.NewServer(gen.handler)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/fixpoint", "application/json", bytes.NewReader(fixpointBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fixpoint: status %d: %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestPreloadServesWithoutStore is the -preload acceptance lock at the
+// mechanism level: a generation given a pack over a fresh, empty store
+// answers byte-identically to the cold generation that built the pack,
+// without materializing a single object file.
+func TestPreloadServesWithoutStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	refGen, err := buildGeneration(settings{Store: dir}, service.NewMetrics(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = refGen.engine.Close() })
+	cold := postFixpoint(t, refGen)
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packPath := filepath.Join(t.TempDir(), "warm.repack")
+	if _, err := st.Pack(packPath); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := filepath.Join(t.TempDir(), "results")
+	var logs bytes.Buffer
+	gen, err := buildGeneration(settings{Store: fresh, Preload: packPath}, service.NewMetrics(), &logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = gen.engine.Close() })
+	if strings.Contains(logs.String(), "preload") {
+		t.Fatalf("healthy pack logged a preload degradation: %s", logs.String())
+	}
+	if got := postFixpoint(t, gen); !bytes.Equal(got, cold) {
+		t.Fatalf("pack-served body differs from cold body:\n%s\nvs\n%s", got, cold)
+	}
+	objects, err := filepath.Glob(filepath.Join(fresh, "objects", "*", "*.*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objects) != 0 {
+		t.Fatalf("pack-served query touched objects/: %v", objects)
+	}
+}
+
+// TestPreloadDegradesOnCorruptPack: a pack that fails validation must
+// not stop the daemon — the generation builds, logs the skip, and
+// serves byte-identically from the JSON store underneath.
+func TestPreloadDegradesOnCorruptPack(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	refGen, err := buildGeneration(settings{Store: dir}, service.NewMetrics(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = refGen.engine.Close() })
+	cold := postFixpoint(t, refGen)
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packPath := filepath.Join(t.TempDir(), "warm.repack")
+	if _, err := st.Pack(packPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(packPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs bytes.Buffer
+	gen, err := buildGeneration(settings{Store: dir, Preload: packPath}, service.NewMetrics(), &logs)
+	if err != nil {
+		t.Fatalf("corrupt pack failed the generation: %v", err)
+	}
+	t.Cleanup(func() { _ = gen.engine.Close() })
+	if !strings.Contains(logs.String(), "serving without the pack tier") {
+		t.Fatalf("degradation not logged: %q", logs.String())
+	}
+	if got := postFixpoint(t, gen); !bytes.Equal(got, cold) {
+		t.Fatal("store-served body behind a corrupt pack differs from cold body")
 	}
 }

@@ -9,6 +9,7 @@
 //	      [-max-steps n] [-max-states n]
 //	      [-families list] [-delta lo:hi] [-k lo:hi] [-catalog]
 //	      [-format tsv|json] [-out file] [-v]
+//	sweep -store dir -pack out.repack
 //
 // Tasks shard across a worker pool (internal/par). With -store the
 // sweep is checkpointed: every classified trajectory is committed to
@@ -26,11 +27,20 @@
 // identical bytes. Timing or cache-hit information never goes into the
 // report (that would break the identity); -v prints it to stderr.
 //
+// With -pack the sweep does not classify anything: it walks the
+// store's object tree and packs every valid record into one read-
+// optimized artifact (see internal/store's pack format) that cmd/serve
+// can preload with -preload. Packing is deterministic — the artifact
+// is a pure function of the record set — and skips (counts, on
+// stderr) any record that fails frame validation. -pack combines only
+// with -store and -v.
+//
 // Examples:
 //
 //	sweep -store ./results                  # full default grid, TSV
 //	sweep -store ./results -format json     # same tasks, JSON report
 //	sweep -catalog                          # the paper's catalog only
+//	sweep -store ./results -pack warm.repack  # pack the store's records
 package main
 
 import (
@@ -60,8 +70,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
+	if cfg.packPath != "" {
+		if err := runPack(cfg, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	// The report is buffered and only committed to -out after a fully
-	// successful run, so a failed run never truncates a previous report.
+	// successful run — through the store's temp+fsync+rename path, so a
+	// failed or interrupted run never truncates or tears a previous
+	// report.
 	var buf bytes.Buffer
 	out := io.Writer(os.Stdout)
 	toFile := cfg.outPath != "" && cfg.outPath != "-"
@@ -73,11 +92,28 @@ func main() {
 		os.Exit(1)
 	}
 	if toFile {
-		if err := os.WriteFile(cfg.outPath, buf.Bytes(), 0o644); err != nil {
+		if err := store.WriteFileAtomic(cfg.outPath, buf.Bytes()); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// runPack packs the store's records into one warm-cache artifact. The
+// pack path commits atomically, so an interrupted -pack leaves any
+// previous artifact intact.
+func runPack(cfg config, errw io.Writer) error {
+	st, err := store.Open(cfg.storeDir)
+	if err != nil {
+		return err
+	}
+	stats, err := st.Pack(cfg.packPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "sweep: packed %d record(s) into %s (%d corrupt record(s) skipped)\n",
+		stats.Entries, cfg.packPath, stats.Skipped)
+	return nil
 }
 
 // config is the parsed flag set of one sweep invocation.
@@ -95,6 +131,7 @@ type config struct {
 	catalog     bool
 	format      string
 	outPath     string
+	packPath    string
 	verbose     bool
 }
 
@@ -112,12 +149,30 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.catalog, "catalog", false, "sweep exactly the paper's problems.Catalog() instead of the grid")
 	fs.StringVar(&cfg.format, "format", "tsv", "report format: tsv or json")
 	fs.StringVar(&cfg.outPath, "out", "-", "report destination ('-' = stdout)")
+	fs.StringVar(&cfg.packPath, "pack", "", "pack the store's records into this warm-cache artifact instead of sweeping")
 	fs.BoolVar(&cfg.verbose, "v", false, "progress and cache-hit info on stderr")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	if fs.NArg() != 0 {
 		return cfg, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if cfg.packPath != "" {
+		if cfg.storeDir == "" {
+			return cfg, fmt.Errorf("-pack requires -store (the artifact is built from a store's records)")
+		}
+		var conflict error
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "pack", "store", "v":
+			default:
+				conflict = fmt.Errorf("-%s cannot be combined with -pack (packing only reads the store)", f.Name)
+			}
+		})
+		if conflict != nil {
+			return cfg, conflict
+		}
+		return cfg, nil
 	}
 	if cfg.catalog {
 		var conflict error

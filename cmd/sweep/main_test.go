@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/store"
 )
 
 // testArgs is a small, fast grid used by the in-process tests.
@@ -189,4 +192,118 @@ func TestParseFlagsRejectsBadInput(t *testing.T) {
 			t.Errorf("parseFlags(%v) accepted bad input", args)
 		}
 	}
+}
+
+// TestPackModeFlagValidation: -pack requires -store and refuses every
+// sweep-shaping flag — packing only reads the store.
+func TestPackModeFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-pack", "out.repack"},
+		{"-pack", "out.repack", "-store", "dir", "-catalog"},
+		{"-pack", "out.repack", "-store", "dir", "-format", "json"},
+		{"-pack", "out.repack", "-store", "dir", "-delta", "2:3"},
+		{"-pack", "out.repack", "-store", "dir", "-out", "report.tsv"},
+		{"-pack", "out.repack", "-store", "dir", "-max-steps", "3"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted bad pack-mode input", args)
+		}
+	}
+	cfg, err := parseFlags([]string{"-pack", "out.repack", "-store", "dir", "-v"})
+	if err != nil {
+		t.Fatalf("parseFlags rejected valid pack-mode input: %v", err)
+	}
+	if cfg.packPath != "out.repack" || cfg.storeDir != "dir" || !cfg.verbose {
+		t.Fatalf("pack-mode config = %+v", cfg)
+	}
+}
+
+// TestPackModeEmitsArtifact: a sweep followed by -pack produces an
+// openable artifact holding every record the sweep committed, and
+// re-packing is bit-exact.
+func TestPackModeEmitsArtifact(t *testing.T) {
+	dir := t.TempDir()
+	runSweep(t, testArgs("-store", dir))
+
+	packPath := filepath.Join(t.TempDir(), "warm.repack")
+	cfg, err := parseFlags([]string{"-store", dir, "-pack", packPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errw bytes.Buffer
+	if err := runPack(cfg, &errw); err != nil {
+		t.Fatalf("runPack: %v", err)
+	}
+	if !bytes.Contains(errw.Bytes(), []byte("packed")) {
+		t.Fatalf("runPack summary missing: %q", errw.String())
+	}
+
+	pr, err := store.OpenPack(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	steps, trajs := countSweepObjects(t, dir)
+	if pr.Len() != steps+trajs || pr.Len() == 0 {
+		t.Fatalf("pack holds %d record(s), store has %d", pr.Len(), steps+trajs)
+	}
+
+	pack2 := filepath.Join(t.TempDir(), "warm2.repack")
+	cfg2 := cfg
+	cfg2.packPath = pack2
+	if err := runPack(cfg2, &errw); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(pack2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-packing the same store is not bit-exact")
+	}
+}
+
+// TestReportCommitIsAtomic: -out goes through the store's atomic
+// commit path, so a report file never coexists with its temp file.
+func TestReportCommitIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(t.TempDir(), "report.tsv")
+	cfg, err := parseFlags(testArgs("-store", dir, "-out", outPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf, errw bytes.Buffer
+	if err := run(cfg, &buf, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFileAtomic(cfg.outPath, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil || !bytes.Equal(data, buf.Bytes()) {
+		t.Fatalf("report mismatch after atomic commit (%v)", err)
+	}
+	residue, err := filepath.Glob(filepath.Join(filepath.Dir(outPath), ".tmp-*"))
+	if err != nil || len(residue) != 0 {
+		t.Fatalf("temp residue next to report: %v (%v)", residue, err)
+	}
+}
+
+// countSweepObjects tallies the store's step and trajectory records.
+func countSweepObjects(t *testing.T, dir string) (steps, trajs int) {
+	t.Helper()
+	matchesStep, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.step"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesTraj, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.traj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matchesStep), len(matchesTraj)
 }

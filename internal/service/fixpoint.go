@@ -75,7 +75,6 @@ func (e *Engine) Fixpoint(ctx context.Context, req FixpointRequest, sink func(li
 	// Warm path: replay the stored trajectory without touching the
 	// gate or the flight table.
 	res, ok := e.lookupTrajectory(key, p, params)
-	e.metrics.warmLookup("trajectory", ok)
 	if ok {
 		for _, line := range renderTrajectory(res) {
 			if err := sink(line); err != nil {
@@ -91,12 +90,23 @@ func (e *Engine) Fixpoint(ctx context.Context, req FixpointRequest, sink func(li
 	return err
 }
 
-// lookupTrajectory consults the warm tier: the persistent store when
-// configured, the in-process cache otherwise. Lookup failures of any
-// kind degrade to a miss.
+// lookupTrajectory consults the warm tiers in order — the preloaded
+// pack (when attached), then the persistent store or the in-process
+// cache — and counts one outcome per tier consulted. Lookup failures
+// of any kind degrade to a miss on the serve path; validation failures
+// (checksum, truncation, version) additionally count as "corrupt" so
+// operators can see a damaged store behind byte-identical responses.
 func (e *Engine) lookupTrajectory(key string, p *core.Problem, params store.TrajectoryParams) (*fixpoint.Result, bool) {
+	if e.pk != nil {
+		res, ok, err := e.pk.GetTrajectory(p, params)
+		e.metrics.warmLookup("pack", warmOutcome(ok, err))
+		if ok {
+			return res, true
+		}
+	}
 	if e.st != nil {
 		res, ok, err := e.st.GetTrajectory(p, params)
+		e.metrics.warmLookup("trajectory", warmOutcome(ok, err))
 		if err != nil || !ok {
 			return nil, false
 		}
@@ -105,6 +115,7 @@ func (e *Engine) lookupTrajectory(key string, p *core.Problem, params store.Traj
 	e.mu.Lock()
 	res, ok := e.trajCache[key]
 	e.mu.Unlock()
+	e.metrics.warmLookup("trajectory", warmOutcome(ok, nil))
 	return res, ok
 }
 

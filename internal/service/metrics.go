@@ -19,8 +19,9 @@ import (
 var LatencyBands = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 
 // Metrics is the daemon's instrument set: request counts and latency
-// bands by endpoint, singleflight dedup counters, warm-tier hit/miss
-// by record tier, admission-gate queue depth and wait time, and NDJSON
+// bands by endpoint, singleflight dedup counters, warm-tier
+// hit/miss/corrupt outcomes by record tier, admission-gate queue depth
+// and wait time, and NDJSON
 // stream volume. One Metrics outlives engine generations (a SIGHUP
 // reload swaps engines, not counters), and a nil *Metrics is a valid
 // no-op receiver for every recording method, so the engine and
@@ -39,8 +40,7 @@ type Metrics struct {
 	flightLeaders   *obs.Counter
 	flightFollowers *obs.Counter
 
-	warmHits   map[string]*obs.Counter
-	warmMisses map[string]*obs.Counter
+	warm map[string]map[string]*obs.Counter // tier → outcome → counter
 
 	gateWaiting     *obs.Gauge
 	gatePeakWaiting *obs.Gauge
@@ -59,9 +59,29 @@ type requestKey struct {
 }
 
 // warmTiers are the warm-lookup record tiers instrumented by the
-// engine: full-step memo entries, whole trajectories, rendered
-// verdicts, and in-process half steps.
-var warmTiers = []string{"step", "trajectory", "verdict", "half"}
+// engine: the preloaded pack artifact, full-step memo entries, whole
+// trajectories, rendered verdicts, and in-process half steps.
+var warmTiers = []string{"pack", "step", "trajectory", "verdict", "half"}
+
+// warmOutcomes are the per-tier lookup outcomes: "hit" served a record,
+// "miss" fell through cleanly, "corrupt" fell through because the
+// record failed validation (checksum, truncation, or version mismatch)
+// — the serve path degrades to recomputation in both fall-through
+// cases, but "corrupt" is the operator's signal to re-sweep or re-pack.
+var warmOutcomes = []string{"hit", "miss", "corrupt"}
+
+// warmOutcome folds a warm-tier (ok, err) lookup result into its
+// outcome label.
+func warmOutcome(ok bool, err error) string {
+	switch {
+	case ok:
+		return "hit"
+	case err != nil:
+		return "corrupt"
+	default:
+		return "miss"
+	}
+}
 
 // NewMetrics returns a ready instrument set backed by a fresh
 // registry.
@@ -77,8 +97,7 @@ func NewMetrics() *Metrics {
 		flightFollowers: reg.Counter("re_singleflight_requests_total",
 			"Requests by singleflight role: a leader starts a computation, a follower subscribes to one in flight.",
 			obs.L("role", "follower")),
-		warmHits:   make(map[string]*obs.Counter),
-		warmMisses: make(map[string]*obs.Counter),
+		warm: make(map[string]map[string]*obs.Counter),
 		gateWaiting: reg.Gauge("re_gate_waiting",
 			"Engine computations currently queued for an admission slot."),
 		gatePeakWaiting: reg.Gauge("re_gate_waiting_peak",
@@ -95,12 +114,12 @@ func NewMetrics() *Metrics {
 			"NDJSON bytes written to fixpoint stream subscribers."),
 	}
 	for _, tier := range warmTiers {
-		m.warmHits[tier] = reg.Counter("re_warm_lookups_total",
-			"Warm-tier lookups by record tier and outcome (persistent store or in-process cache).",
-			obs.L("tier", tier), obs.L("outcome", "hit"))
-		m.warmMisses[tier] = reg.Counter("re_warm_lookups_total",
-			"Warm-tier lookups by record tier and outcome (persistent store or in-process cache).",
-			obs.L("tier", tier), obs.L("outcome", "miss"))
+		m.warm[tier] = make(map[string]*obs.Counter, len(warmOutcomes))
+		for _, outcome := range warmOutcomes {
+			m.warm[tier][outcome] = reg.Counter("re_warm_lookups_total",
+				"Warm-tier lookups by record tier and outcome (pack artifact, persistent store, or in-process cache).",
+				obs.L("tier", tier), obs.L("outcome", outcome))
+		}
 	}
 	return m
 }
@@ -118,16 +137,13 @@ func (m *Metrics) flightCall(leader bool) {
 	}
 }
 
-// warmLookup records one warm-tier lookup outcome.
-func (m *Metrics) warmLookup(tier string, hit bool) {
+// warmLookup records one warm-tier lookup outcome ("hit", "miss", or
+// "corrupt" — see warmOutcome).
+func (m *Metrics) warmLookup(tier, outcome string) {
 	if m == nil {
 		return
 	}
-	if hit {
-		m.warmHits[tier].Inc()
-	} else {
-		m.warmMisses[tier].Inc()
-	}
+	m.warm[tier][outcome].Inc()
 }
 
 // streamedLine records one NDJSON line put on the wire.
@@ -336,14 +352,18 @@ type SingleflightStat struct {
 	DedupRatio float64 `json:"dedup_ratio"`
 }
 
-// StoreStat is one warm tier's hit/miss count.
+// StoreStat is one warm tier's lookup-outcome count.
 type StoreStat struct {
-	// Tier is the record tier ("step", "trajectory", "verdict", "half").
+	// Tier is the record tier ("pack", "step", "trajectory", "verdict",
+	// "half").
 	Tier string `json:"tier"`
 	// Hits counts warm lookups that were served.
 	Hits int64 `json:"hits"`
 	// Misses counts warm lookups that fell through to computation.
 	Misses int64 `json:"misses"`
+	// Corrupt counts warm lookups that fell through because the record
+	// failed validation; the query still succeeds by recomputation.
+	Corrupt int64 `json:"corrupt"`
 }
 
 // GateStat describes admission-control pressure.
@@ -420,9 +440,10 @@ func (m *Metrics) Stats(e *Engine) Stats {
 	}
 	for _, tier := range warmTiers {
 		s.Store = append(s.Store, StoreStat{
-			Tier:   tier,
-			Hits:   m.warmHits[tier].Value(),
-			Misses: m.warmMisses[tier].Value(),
+			Tier:    tier,
+			Hits:    m.warm[tier]["hit"].Value(),
+			Misses:  m.warm[tier]["miss"].Value(),
+			Corrupt: m.warm[tier]["corrupt"].Value(),
 		})
 	}
 	return s

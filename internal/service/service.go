@@ -20,7 +20,9 @@
 //     response is rendered from canonical problem serializations and
 //     deterministic structs, a warm response is byte-identical to the
 //     cold response — the same contract cmd/sweep relies on for its
-//     resume-after-kill reports.
+//     resume-after-kill reports. A preloaded pack artifact (Config.Pack,
+//     built by cmd/sweep -pack) adds a read-only warm tier consulted
+//     before the store, with the same byte-identity guarantee.
 //
 // Admission control: actual engine computations (speedup enumeration,
 // fixpoint iteration, oracle search) pass through a par.Gate bounding
@@ -32,8 +34,9 @@
 // retried query resumes byte-identically instead of recomputing.
 //
 // Observability: with Config.Metrics attached, the engine counts
-// singleflight leaders/followers, warm-tier hits and misses per record
-// tier, and gate queue depth/wait time (via par.GateObserver). The
+// singleflight leaders/followers, warm-tier hit/miss/corrupt outcomes
+// per record tier (a corrupt record degrades to recomputation, never a
+// failed query), and gate queue depth/wait time (via par.GateObserver). The
 // instruments feed GET /metrics and GET /v1/stats exclusively —
 // nothing in response rendering reads them, which is how the
 // byte-identity contract survives instrumentation.
@@ -73,6 +76,13 @@ type Config struct {
 	// MaxInflight bounds how many engine computations run concurrently
 	// (the par.Gate admission budget); 0 = GOMAXPROCS.
 	MaxInflight int
+	// Pack, when non-nil, is a preloaded warm-cache artifact
+	// (store.OpenPack) consulted before the JSON store and before
+	// computing cold. The engine takes ownership: Close releases it.
+	// Pack-served replies are byte-identical to store-served and cold
+	// replies — the pack holds the same canonical payloads under the
+	// same keys.
+	Pack *store.PackReader
 	// Metrics, when non-nil, receives the engine's singleflight,
 	// warm-lookup and admission-gate instrumentation. Metrics are
 	// observational only: no response byte ever depends on them.
@@ -84,7 +94,8 @@ type Config struct {
 // with New; an Engine is safe for concurrent use by any number of
 // request goroutines.
 type Engine struct {
-	st      *store.Store // nil = memory-only
+	st      *store.Store      // nil = memory-only
+	pk      *store.PackReader // nil = no preloaded pack tier
 	gate    *par.Gate
 	workers int
 	metrics *Metrics // nil = unobserved
@@ -110,6 +121,7 @@ type Engine struct {
 func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		workers:      cfg.Workers,
+		pk:           cfg.Pack,
 		gate:         par.NewGate(cfg.MaxInflight),
 		metrics:      cfg.Metrics,
 		stepMemos:    make(map[int]fixpoint.Memo),
@@ -134,16 +146,25 @@ func New(cfg Config) (*Engine, error) {
 // memory-only mode.
 func (e *Engine) Store() *store.Store { return e.st }
 
-// Close cancels the engine's run context: computations in flight stop
-// at their next step boundary (their completed steps remain committed
-// to the store), and subsequent queries fail with ErrClosed. Close is
+// Close cancels the engine's run context and releases the preloaded
+// pack (when one is attached): computations in flight stop at their
+// next step boundary (their completed steps remain committed to the
+// store), and subsequent queries fail with ErrClosed. Close is
 // idempotent — only the first call does anything, and any shutdown
 // error is reported exactly once (later calls return nil), so a
 // deferred Close racing an explicit shutdown-path Close (the cmd/serve
-// grace-expiry sequence) is safe.
+// grace-expiry sequence) is safe. Pack lookups racing Close degrade to
+// misses — a request still rendering after shutdown recomputes instead
+// of touching released memory.
 func (e *Engine) Close() error {
-	e.closeOnce.Do(e.stop)
-	return nil
+	var err error
+	e.closeOnce.Do(func() {
+		e.stop()
+		if e.pk != nil {
+			err = e.pk.Close()
+		}
+	})
+	return err
 }
 
 // ErrClosed reports a query issued against a closed (shutting-down)
@@ -160,13 +181,14 @@ func (e *Engine) coreOpts(maxStates int) []core.Option {
 	return opts
 }
 
-// stepMemo returns the budget-scoped speedup-step memo: store-backed
-// when a store is configured, a per-budget in-memory map otherwise,
-// wrapped for hit/miss accounting when metrics are attached.
+// stepMemo returns the budget-scoped speedup-step memo chain: the
+// preloaded pack first (when attached), then the store-backed tier or a
+// per-budget in-memory map, each with outcome accounting when metrics
+// are attached.
 func (e *Engine) stepMemo(maxStates int) fixpoint.Memo {
 	var m fixpoint.Memo
 	if e.st != nil {
-		m = e.st.StepMemo(maxStates)
+		m = storeStepMemo{e: e, maxStates: maxStates}
 	} else {
 		e.mu.Lock()
 		mm, ok := e.stepMemos[maxStates]
@@ -176,12 +198,66 @@ func (e *Engine) stepMemo(maxStates int) fixpoint.Memo {
 		}
 		e.mu.Unlock()
 		m = mm
+		if e.metrics != nil {
+			m = observedMemo{inner: mm, metrics: e.metrics}
+		}
 	}
-	if e.metrics != nil {
-		m = observedMemo{inner: m, metrics: e.metrics}
+	if e.pk != nil {
+		m = packStepMemo{e: e, maxStates: maxStates, inner: m}
 	}
 	return m
 }
+
+// storeStepMemo adapts the store's budget-scoped step records to
+// fixpoint.Memo with corrupt-aware outcome accounting: a record that
+// fails validation (checksum, truncation, version) degrades to a miss
+// on the serve path — the step is recomputed byte-identically — and
+// surfaces only as a "corrupt" warm-lookup outcome.
+type storeStepMemo struct {
+	e         *Engine
+	maxStates int
+}
+
+// LookupStep counts the lookup outcome and degrades validation
+// failures to misses.
+func (m storeStepMemo) LookupStep(in *core.Problem) (*core.Problem, bool) {
+	out, ok, err := m.e.st.GetStep(in, m.maxStates)
+	m.e.metrics.warmLookup("step", warmOutcome(ok, err))
+	if !ok || err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// StoreStep commits the step record; write failures are dropped (a
+// damaged store slows runs down, never fails them).
+func (m storeStepMemo) StoreStep(in, out *core.Problem) {
+	_ = m.e.st.PutStep(in, out, m.maxStates)
+}
+
+// packStepMemo consults the preloaded pack before the inner tier. Pack
+// hits never reach the inner memo; misses (including validation
+// failures, counted "corrupt") fall through. Stores bypass the
+// read-only pack entirely.
+type packStepMemo struct {
+	e         *Engine
+	maxStates int
+	inner     fixpoint.Memo
+}
+
+// LookupStep tries the pack, counts its outcome, and falls through to
+// the inner tier on anything but a hit.
+func (m packStepMemo) LookupStep(in *core.Problem) (*core.Problem, bool) {
+	out, ok, err := m.e.pk.GetStep(in, m.maxStates)
+	m.e.metrics.warmLookup("pack", warmOutcome(ok, err))
+	if ok {
+		return out, true
+	}
+	return m.inner.LookupStep(in)
+}
+
+// StoreStep delegates to the writable inner tier.
+func (m packStepMemo) StoreStep(in, out *core.Problem) { m.inner.StoreStep(in, out) }
 
 // observedMemo wraps a step memo with warm-tier hit/miss accounting.
 // Lookups and stores pass through untouched — observation can never
@@ -194,7 +270,7 @@ type observedMemo struct {
 // LookupStep counts the lookup outcome and delegates.
 func (o observedMemo) LookupStep(in *core.Problem) (*core.Problem, bool) {
 	out, ok := o.inner.LookupStep(in)
-	o.metrics.warmLookup("step", ok)
+	o.metrics.warmLookup("step", warmOutcome(ok, nil))
 	return out, ok
 }
 

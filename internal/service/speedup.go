@@ -119,7 +119,7 @@ func (e *Engine) halfStep(p *core.Problem, maxStates int) (*core.Problem, error)
 	e.mu.Lock()
 	out, ok := e.halves[key]
 	e.mu.Unlock()
-	e.metrics.warmLookup("half", ok)
+	e.metrics.warmLookup("half", warmOutcome(ok, nil))
 	if ok {
 		return out, nil
 	}

@@ -112,7 +112,6 @@ func (e *Engine) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse
 	// hand-written field list could.
 	key := fmt.Sprintf("verify|%s|%+v", core.StableKey(p), params)
 	body, ok := e.lookupVerdict(p, params)
-	e.metrics.warmLookup("verdict", ok)
 	if ok {
 		return &VerifyResponse{Negative: negativeOf(body), Body: body}, nil
 	}
@@ -125,12 +124,23 @@ func (e *Engine) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse
 	return val.(*VerifyResponse), nil
 }
 
-// lookupVerdict consults the warm tier for a rendered verdict. The
+// lookupVerdict consults the warm tiers for a rendered verdict — the
+// preloaded pack (when attached), then the persistent store or the
+// memory-mode cache — counting one outcome per tier consulted; lookup
+// failures degrade to a miss, validation failures count "corrupt". The
 // memory-mode cache is keyed by the VerdictParams value itself, the
 // same identity the store folds into its record key.
 func (e *Engine) lookupVerdict(p *core.Problem, params store.VerdictParams) ([]byte, bool) {
+	if e.pk != nil {
+		body, ok, err := e.pk.GetVerdict(p, params)
+		e.metrics.warmLookup("pack", warmOutcome(ok, err))
+		if ok {
+			return body, true
+		}
+	}
 	if e.st != nil {
 		body, ok, err := e.st.GetVerdict(p, params)
+		e.metrics.warmLookup("verdict", warmOutcome(ok, err))
 		if err != nil || !ok {
 			return nil, false
 		}
@@ -139,6 +149,7 @@ func (e *Engine) lookupVerdict(p *core.Problem, params store.VerdictParams) ([]b
 	e.mu.Lock()
 	body, ok := e.verdictCache[params]
 	e.mu.Unlock()
+	e.metrics.warmLookup("verdict", warmOutcome(ok, nil))
 	return body, ok
 }
 

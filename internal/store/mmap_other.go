@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile reports that this platform has no mmap support; OpenPack
+// falls back to reading the whole pack through io.ReaderAt.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, errors.ErrUnsupported
+}

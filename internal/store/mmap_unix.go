@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps size bytes of f read-only and returns the
+// mapping plus its release function. The mapping survives the file
+// descriptor, so callers may close f immediately. Errors (including a
+// zero-length file, which mmap rejects) send OpenPack down the
+// io.ReaderAt fallback path.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,453 @@
+package store
+
+// This file is the pack writer: the store's distributable warm-cache
+// artifact. A pack is one read-optimized binary file holding every
+// validated record of a store directory — all keys in a sorted
+// succinct trie (rank/select bitmaps over the key bytes), all payloads
+// in one append-only data section addressed by offset/length — behind
+// a versioned header and a whole-file SHA-256 checksum. Store.Pack
+// writes one; OpenPack (packreader.go) serves it read-only,
+// mmap-backed where available.
+//
+// On disk (all integers big-endian):
+//
+//	magic "PODC19PK" · u32 PackFormatVersion · u32 FingerprintVersion
+//	u64 entry count · u64 leaves words · u64 label-bitmap words
+//	u64 labels bytes · u64 data bytes
+//	leaves bitmap · label bitmap · labels
+//	entry table (count × u64 offset, u64 length)
+//	data section (payloads back to back, sorted-key order)
+//	SHA-256 over everything preceding it
+//
+// The format is deterministic: entries are sorted by key and every
+// section is a pure function of the record set, so packing the same
+// store twice — or packing, unpacking into a fresh store, and packing
+// again — produces bit-identical files. That is what makes a pack a
+// cache artifact rather than a database: two builders of the same
+// catalog produce the same bytes, and byte comparison is a complete
+// integrity check.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// PackFormatVersion is the on-disk pack container version, written into
+// every pack header and rejected on mismatch by OpenPack. Like the
+// record FormatVersion there is no migration path: a pack is a cache
+// artifact, rebuilt from a store (or recomputed) when the format moves.
+const PackFormatVersion = 1
+
+// packMagic opens every pack file. Eight bytes, fixed; distinct from
+// the per-record magic so a pack can never be mistaken for a record.
+const packMagic = "PODC19PK"
+
+// packHeaderSize is magic + pack version + fingerprint version + entry
+// count + the four section lengths (leaves words, label-bitmap words,
+// labels bytes, data bytes). The entry-table length is derived
+// (16 bytes per entry).
+const packHeaderSize = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8
+
+// packKeyLen is the fixed trie key length: one kind byte followed by
+// the 32-byte stable record key. Fixed-length keys are load-bearing:
+// they put every trie leaf at the same depth, which is what makes the
+// breadth-first leaf rank equal the sorted key order (the entry-table
+// index). newSuccinctSet enforces it.
+const packKeyLen = 1 + 32
+
+// packEntrySize is one entry-table slot: big-endian offset and length
+// into the data section.
+const packEntrySize = 8 + 8
+
+// PackStats reports what Store.Pack put into (and left out of) an
+// artifact.
+type PackStats struct {
+	// Entries is the number of validated records packed.
+	Entries int
+	// Skipped counts records present in the store but excluded because
+	// their frame failed validation (corrupt, truncated, foreign) —
+	// packing shares lookup's degradation contract: damage costs
+	// warmth, never the artifact.
+	Skipped int
+}
+
+// packEntry is one record staged for packing.
+type packEntry struct {
+	key     []byte // packKeyLen bytes: kind byte + stable record key
+	payload []byte // validated record payload (the JSON inside the frame)
+}
+
+// Pack walks the store's objects and writes the packed warm-cache
+// artifact to path, committed with the same temp+rename+dirsync
+// protocol as every record. Records that fail frame validation are
+// skipped and counted in PackStats.Skipped. The output is
+// deterministic in the record set (see the package comment on pack.go).
+func (s *Store) Pack(path string) (PackStats, error) {
+	var stats PackStats
+	var entries []packEntry
+	objects := filepath.Join(s.root, "objects")
+	err := filepath.WalkDir(objects, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		var kind Kind
+		switch filepath.Ext(name) {
+		case ".step":
+			kind = KindStep
+		case ".traj":
+			kind = KindTrajectory
+		case ".verdict":
+			kind = KindVerdict
+		default:
+			return nil // temp files and foreign files are not records
+		}
+		keyBytes, herr := hex.DecodeString(name[:len(name)-len(filepath.Ext(name))])
+		if herr != nil || len(keyBytes) != 32 {
+			return nil
+		}
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			return rerr
+		}
+		payload, derr := decodeRecord(data, kind)
+		if derr != nil {
+			stats.Skipped++
+			return nil
+		}
+		key := make([]byte, 0, packKeyLen)
+		key = append(key, byte(kind))
+		key = append(key, keyBytes...)
+		entries = append(entries, packEntry{key: key, payload: payload})
+		return nil
+	})
+	if err != nil {
+		return stats, fmt.Errorf("store: pack: %w", err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].key, entries[j].key) < 0 })
+	stats.Entries = len(entries)
+	if err := writePackFile(path, entries); err != nil {
+		return stats, fmt.Errorf("store: pack: %w", err)
+	}
+	return stats, nil
+}
+
+// writePackFile serializes sorted entries into the pack format and
+// commits the file atomically and durably. The whole-file checksum is
+// computed while streaming, so the pack never needs to be assembled in
+// one buffer.
+func writePackFile(path string, entries []packEntry) error {
+	keys := make([][]byte, len(entries))
+	for i, e := range entries {
+		keys[i] = e.key
+	}
+	ss, err := newSuccinctSet(keys)
+	if err != nil {
+		return err
+	}
+	// The entry table is addressed by the trie's leaf rank; verify at
+	// build time that it equals the sorted order the entries were
+	// written in, so a reader lookup can never land on the wrong
+	// payload.
+	for i, key := range keys {
+		idx, ok := ss.index(key)
+		if !ok || idx != i {
+			return fmt.Errorf("pack index self-check failed at key %d", i)
+		}
+	}
+
+	dir := filepath.Dir(path)
+	if dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	var dataLen uint64
+	for _, e := range entries {
+		dataLen += uint64(len(e.payload))
+	}
+	h := sha256.New()
+	bw := bufio.NewWriter(tmp)
+	w := io.MultiWriter(bw, h)
+
+	var scratch [8]byte
+	putU32 := func(v uint32) error {
+		binary.BigEndian.PutUint32(scratch[:4], v)
+		_, err := w.Write(scratch[:4])
+		return err
+	}
+	putU64 := func(v uint64) error {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		_, err := w.Write(scratch[:])
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		return err
+	}
+
+	if _, err := io.WriteString(w, packMagic); err != nil {
+		return fail(err)
+	}
+	if err := putU32(PackFormatVersion); err != nil {
+		return fail(err)
+	}
+	if err := putU32(uint32(core.FingerprintVersion)); err != nil {
+		return fail(err)
+	}
+	for _, v := range []uint64{
+		uint64(len(entries)),
+		uint64(len(ss.leaves)),
+		uint64(len(ss.labelBitmap)),
+		uint64(len(ss.labels)),
+		dataLen,
+	} {
+		if err := putU64(v); err != nil {
+			return fail(err)
+		}
+	}
+	for _, word := range ss.leaves {
+		if err := putU64(word); err != nil {
+			return fail(err)
+		}
+	}
+	for _, word := range ss.labelBitmap {
+		if err := putU64(word); err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := w.Write(ss.labels); err != nil {
+		return fail(err)
+	}
+	var off uint64
+	for _, e := range entries {
+		if err := putU64(off); err != nil {
+			return fail(err)
+		}
+		if err := putU64(uint64(len(e.payload))); err != nil {
+			return fail(err)
+		}
+		off += uint64(len(e.payload))
+	}
+	for _, e := range entries {
+		if _, err := w.Write(e.payload); err != nil {
+			return fail(err)
+		}
+	}
+	// The checksum trailer goes to the file only — it covers everything
+	// preceding it.
+	if _, err := bw.Write(h.Sum(nil)); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	return commitTemp(tmp, path)
+}
+
+// succinctSet is a static trie over a sorted set of equal-length byte
+// keys, stored as the classic succinct level-order encoding: labels
+// holds every edge byte, labelBitmap marks node boundaries (a 0 bit per
+// outgoing edge, a 1 bit terminating each node's edge list), and leaves
+// marks terminal nodes. ranks/leafRanks are the per-word popcount
+// prefix sums that make rank queries O(1); select is answered by binary
+// search over ranks. Membership additionally yields the key's position
+// in sorted order, which is the pack's entry-table index.
+type succinctSet struct {
+	leaves      []uint64
+	labelBitmap []uint64
+	labels      []byte
+	ranks       []int32 // prefix popcounts of labelBitmap words
+	leafRanks   []int32 // prefix popcounts of leaves words
+}
+
+// newSuccinctSet builds the trie from keys, which must be sorted,
+// unique, and all of length packKeyLen — the fixed length is what makes
+// the breadth-first leaf rank coincide with sorted order.
+func newSuccinctSet(keys [][]byte) (*succinctSet, error) {
+	for i, key := range keys {
+		if len(key) != packKeyLen {
+			return nil, fmt.Errorf("pack key %d has length %d, want %d", i, len(key), packKeyLen)
+		}
+		if i > 0 && bytes.Compare(keys[i-1], key) >= 0 {
+			return nil, fmt.Errorf("pack keys not sorted and unique at %d", i)
+		}
+	}
+	ss := &succinctSet{}
+	lIdx := 0
+	type queueElt struct{ s, e, col int }
+	queue := []queueElt{{0, len(keys), 0}}
+	for i := 0; i < len(queue); i++ {
+		elt := queue[i]
+		if elt.s < elt.e && elt.col == len(keys[elt.s]) {
+			elt.s++
+			setBit(&ss.leaves, i)
+		}
+		for j := elt.s; j < elt.e; {
+			frm := j
+			for ; j < elt.e && keys[j][elt.col] == keys[frm][elt.col]; j++ {
+			}
+			queue = append(queue, queueElt{frm, j, elt.col + 1})
+			ss.labels = append(ss.labels, keys[frm][elt.col])
+			lIdx++ // a 0 bit per edge: just advance
+		}
+		setBit(&ss.labelBitmap, lIdx) // the 1 bit terminating node i
+		lIdx++
+	}
+	growTo(&ss.labelBitmap, lIdx)
+	growTo(&ss.leaves, len(queue))
+	ss.buildRanks()
+	return ss, nil
+}
+
+// buildRanks (re)computes the rank prefix sums from the bitmap words.
+func (ss *succinctSet) buildRanks() {
+	ss.ranks = prefixPopcounts(ss.labelBitmap)
+	ss.leafRanks = prefixPopcounts(ss.leaves)
+}
+
+// index reports whether key is in the set and, if so, its position in
+// the sorted key order.
+func (ss *succinctSet) index(key []byte) (int, bool) {
+	nodeID, bmIdx := 0, 0
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		for ; ; bmIdx++ {
+			if getBit(ss.labelBitmap, bmIdx) {
+				return 0, false // node's edges exhausted: no edge for c
+			}
+			if ss.labels[bmIdx-nodeID] == c {
+				break
+			}
+		}
+		// Follow the edge: the child's id is the number of edges (0
+		// bits) up to and including this one; its edge list starts just
+		// past the terminator of node child-1.
+		nodeID = countZeros(ss.labelBitmap, ss.ranks, bmIdx+1)
+		bmIdx = selectIthOne(ss.labelBitmap, ss.ranks, nodeID-1) + 1
+	}
+	if !getBit(ss.leaves, nodeID) {
+		return 0, false
+	}
+	return rank1(ss.leaves, ss.leafRanks, nodeID), true
+}
+
+// walk visits every key in sorted order. The callback's key slice is
+// reused between calls — callers must copy what they keep.
+func (ss *succinctSet) walk(fn func(key []byte) error) error {
+	var key []byte
+	var rec func(nodeID int) error
+	rec = func(nodeID int) error {
+		if getBit(ss.leaves, nodeID) {
+			if err := fn(key); err != nil {
+				return err
+			}
+		}
+		bmIdx := 0
+		if nodeID > 0 {
+			bmIdx = selectIthOne(ss.labelBitmap, ss.ranks, nodeID-1) + 1
+		}
+		for ; !getBit(ss.labelBitmap, bmIdx); bmIdx++ {
+			child := countZeros(ss.labelBitmap, ss.ranks, bmIdx+1)
+			key = append(key, ss.labels[bmIdx-nodeID])
+			if err := rec(child); err != nil {
+				return err
+			}
+			key = key[:len(key)-1]
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// setBit sets bit i, growing the word slice as needed.
+func setBit(bm *[]uint64, i int) {
+	for i>>6 >= len(*bm) {
+		*bm = append(*bm, 0)
+	}
+	(*bm)[i>>6] |= uint64(1) << uint(i&63)
+}
+
+// growTo ensures the word slice covers n bits (so serialized sizes are
+// a pure function of the bit counts, not of which bits happen to be
+// set).
+func growTo(bm *[]uint64, n int) {
+	words := (n + 63) >> 6
+	for len(*bm) < words {
+		*bm = append(*bm, 0)
+	}
+}
+
+// getBit reports bit i. Out-of-range bits read as 0.
+func getBit(bm []uint64, i int) bool {
+	if i>>6 >= len(bm) {
+		return false
+	}
+	return bm[i>>6]&(uint64(1)<<uint(i&63)) != 0
+}
+
+// prefixPopcounts returns r with r[i] = popcount(words[:i]) — one extra
+// trailing element, so r[len(words)] is the total.
+func prefixPopcounts(words []uint64) []int32 {
+	r := make([]int32, len(words)+1)
+	for i, w := range words {
+		r[i+1] = r[i] + int32(bits.OnesCount64(w))
+	}
+	return r
+}
+
+// rank1 counts the 1 bits in bm[0:i).
+func rank1(bm []uint64, ranks []int32, i int) int {
+	w, b := i>>6, uint(i&63)
+	r := int(ranks[w])
+	if b != 0 {
+		r += bits.OnesCount64(bm[w] & (uint64(1)<<b - 1))
+	}
+	return r
+}
+
+// countZeros counts the 0 bits in bm[0:i).
+func countZeros(bm []uint64, ranks []int32, i int) int {
+	return i - rank1(bm, ranks, i)
+}
+
+// selectIthOne returns the position of the i-th (0-based) 1 bit:
+// binary-search the word via the rank prefix sums, then strip set bits
+// inside it. i must index an existing 1 bit.
+func selectIthOne(bm []uint64, ranks []int32, i int) int {
+	lo, hi := 0, len(bm)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(ranks[mid+1]) > i {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	w := bm[lo]
+	for rem := i - int(ranks[lo]); rem > 0; rem-- {
+		w &= w - 1
+	}
+	return lo<<6 + bits.TrailingZeros64(w)
+}

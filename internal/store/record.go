@@ -121,13 +121,56 @@ func decodeRecord(data []byte, wantKind Kind) ([]byte, error) {
 	return data[recordHeaderSize : recordHeaderSize+int(payloadLen)], nil
 }
 
+// Commit-protocol seams. Production always uses the real operations;
+// durability tests swap these to inject failures at each point of the
+// temp-file + fsync + rename + dirsync sequence and assert that no
+// failure mode can leave a torn or half-committed file behind.
+var (
+	syncFile   = func(f *os.File) error { return f.Sync() }
+	renameFile = os.Rename
+	syncDir    = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		serr := d.Sync()
+		cerr := d.Close()
+		if serr != nil {
+			return serr
+		}
+		return cerr
+	}
+)
+
+// commitTemp finalizes a staged temp file into path: fsync the data,
+// close, rename into place, then fsync the parent directory. The
+// directory sync is what makes the commit durable, not merely atomic —
+// rename(2) only updates the directory entry in memory, so without it a
+// crash after a "successful" commit can roll the directory back to a
+// state where the record never existed. Invariant: once commitTemp
+// returns nil, the file survives a crash at any later point.
+func commitTemp(tmp *os.File, path string) error {
+	if err := syncFile(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := renameFile(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
 // writeAtomic commits data to path with the temp-file + fsync + rename
-// protocol: concurrent readers observe either no file or a complete
-// record, never a partial write, and a crash (kill -9 included) cannot
-// leave a torn record under the final name. Concurrent writers of the
-// same object race only on the rename; since all writers of one key
-// produce identical bytes (results are deterministic), either winner is
-// correct.
+// + directory-sync protocol: concurrent readers observe either no file
+// or a complete record, never a partial write, and a crash (kill -9
+// included) cannot leave a torn record under the final name — nor roll
+// back a commit that was already reported successful (see commitTemp).
+// Concurrent writers of the same object race only on the rename; since
+// all writers of one key produce identical bytes (results are
+// deterministic), either winner is correct.
 func writeAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -142,12 +185,14 @@ func writeAtomic(path string, data []byte) error {
 		tmp.Close()
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return commitTemp(tmp, path)
+}
+
+// WriteFileAtomic commits data to path with the store's temp-file +
+// fsync + rename + directory-sync protocol. Exported for callers whose
+// output files need the same crash-safety contract as store records —
+// cmd/sweep commits its report through it, so a kill mid-write can
+// never leave a truncated report that looks complete.
+func WriteFileAtomic(path string, data []byte) error {
+	return writeAtomic(path, data)
 }

@@ -143,6 +143,14 @@ func (s *Store) GetStep(in *core.Problem, maxStates int) (*core.Problem, bool, e
 	if !ok || err != nil {
 		return nil, false, err
 	}
+	return decodeStepPayload(payload, in, maxStates)
+}
+
+// decodeStepPayload validates a step payload against the queried
+// problem and budget. Shared by the JSON store and the pack reader, so
+// both tiers apply the identical collision guard and return identical
+// results for identical payload bytes.
+func decodeStepPayload(payload []byte, in *core.Problem, maxStates int) (*core.Problem, bool, error) {
 	var rec stepPayload
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return nil, false, fmt.Errorf("store: get step: %w", err)

@@ -87,6 +87,13 @@ func (s *Store) GetTrajectory(in *core.Problem, par TrajectoryParams) (*fixpoint
 	if !ok || err != nil {
 		return nil, false, err
 	}
+	return decodeTrajectoryPayload(data, in, par)
+}
+
+// decodeTrajectoryPayload validates a trajectory payload against the
+// queried problem and params. Shared by the JSON store and the pack
+// reader (see decodeStepPayload).
+func decodeTrajectoryPayload(data []byte, in *core.Problem, par TrajectoryParams) (*fixpoint.Result, bool, error) {
 	var payload trajectoryPayload
 	if err := json.Unmarshal(data, &payload); err != nil {
 		return nil, false, fmt.Errorf("store: get trajectory: %w", err)

@@ -86,6 +86,13 @@ func (s *Store) GetVerdict(in *core.Problem, par VerdictParams) ([]byte, bool, e
 	if !ok || err != nil {
 		return nil, false, err
 	}
+	return decodeVerdictPayload(data, in, par)
+}
+
+// decodeVerdictPayload validates a verdict payload against the queried
+// problem and params. Shared by the JSON store and the pack reader (see
+// decodeStepPayload).
+func decodeVerdictPayload(data []byte, in *core.Problem, par VerdictParams) ([]byte, bool, error) {
 	var payload verdictPayload
 	if err := json.Unmarshal(data, &payload); err != nil {
 		return nil, false, fmt.Errorf("store: get verdict: %w", err)
