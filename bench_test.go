@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -952,4 +953,32 @@ func BenchmarkE16PreloadTier(b *testing.B) {
 			e14Post(b, srv.URL)
 		}
 	})
+}
+
+// BenchmarkE17RenderedTier: E17 — the zero-alloc warm serving path,
+// measured at the engine (the E14/E16 figures include the HTTP client
+// and httptest server; this one isolates what the service itself
+// spends). A steady-state warm hit is one rendered-memo lookup keyed
+// by the raw request text — no parsing, no fingerprinting, no
+// marshaling, no per-line buffers — and one sink call with the cached
+// body. The allocs/op figure is the entire warm-path allocation budget
+// and is CI-gated by tools/allocgate against bench/alloc_thresholds.txt.
+func BenchmarkE17RenderedTier(b *testing.B) {
+	engine, err := service.New(service.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = engine.Close() })
+	req := service.FixpointRequest{Problem: "node:\n0^2 1\nedge:\n0 0\n0 1\n"}
+	sink := func([]byte) error { return nil }
+	if err := engine.Fixpoint(context.Background(), req, sink); err != nil { // prime
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := engine.Fixpoint(context.Background(), req, sink); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -7,7 +7,7 @@
 //
 //	serve [-addr :8089] [-store dir] [-preload pack] [-workers n]
 //	      [-max-inflight n] [-grace 15s] [-request-timeout 0]
-//	      [-config file] [-v]
+//	      [-pprof addr] [-config file] [-v]
 //
 // Endpoints (full request/response schemas in the README, "The
 // service" and "Operations"):
@@ -38,6 +38,13 @@
 // (checksum, truncation, version mismatch) is logged and skipped — the
 // daemon starts and serves without the pack tier rather than failing.
 //
+// -pprof starts the net/http/pprof profiling endpoints on a separate
+// listener (e.g. -pprof localhost:6060 — keep it off the service
+// address; profiles expose internals the query API never does). Like
+// every reloadable setting it is also a config-file key: a SIGHUP can
+// turn profiling on, move it, or shut it off on a live daemon without
+// touching query traffic.
+//
 // On SIGHUP the daemon reloads -config (a flags file, one "key value"
 // per line — see loadConfig) and swaps in a fresh engine over a
 // reopened store. The swap is generational: requests in flight —
@@ -62,6 +69,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -83,6 +91,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent engine computations admitted (0 = GOMAXPROCS)")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request wall-clock budget (0 = unbounded)")
+	pprofAddr := flag.String("pprof", "", "net/http/pprof listen address on a separate listener (empty = disabled)")
 	configPath := flag.String("config", "", "flags file overriding the flags above, reloaded on SIGHUP")
 	verbose := flag.Bool("v", false, "request logging on stderr")
 	flag.Parse()
@@ -96,6 +105,7 @@ func main() {
 		Workers:        *workers,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
+		Pprof:          *pprofAddr,
 		Verbose:        *verbose,
 	}
 	if err := run(*addr, *configPath, base, *grace); err != nil {
@@ -121,6 +131,10 @@ type settings struct {
 	// RequestTimeout is the per-request wall-clock budget (0 =
 	// unbounded).
 	RequestTimeout time.Duration
+	// Pprof is the profiling listener address (empty = disabled). The
+	// pprof endpoints live on their own listener, never on the query
+	// address.
+	Pprof string
 	// Verbose enables the stderr request log.
 	Verbose bool
 }
@@ -129,7 +143,7 @@ type settings struct {
 // command-line flag values) and returns the merged settings. The
 // format is one "key value" pair per line; blank lines and #-comments
 // are ignored. Keys mirror the reloadable flags: store, preload,
-// workers, max-inflight, request-timeout, v (or verbose). A key absent from the
+// workers, max-inflight, request-timeout, pprof, v (or verbose). A key absent from the
 // file keeps its flag value, so deleting a line and SIGHUPing reverts
 // that setting. Unknown keys and unparsable values fail the whole
 // load — a reload never applies half a file.
@@ -158,6 +172,8 @@ func loadConfig(path string, base settings) (settings, error) {
 			s.MaxInflight, perr = strconv.Atoi(val)
 		case "request-timeout":
 			s.RequestTimeout, perr = time.ParseDuration(val)
+		case "pprof":
+			s.Pprof = val
 		case "v", "verbose":
 			s.Verbose, perr = strconv.ParseBool(val)
 		default:
@@ -283,6 +299,64 @@ func buildGeneration(s settings, m *service.Metrics, logw io.Writer) (*generatio
 	return newGeneration(engine, handler), nil
 }
 
+// pprofServer manages the optional profiling listener: net/http/pprof
+// handlers mounted on their own mux and socket, fully separate from
+// the query listener so profiling exposure is an explicit, revocable
+// operator decision. apply reconciles the running listener with the
+// configured address on startup and on every SIGHUP reload.
+type pprofServer struct {
+	addr string
+	srv  *http.Server
+	ln   net.Listener // the bound socket, for the startup log and tests
+}
+
+// pprofMux mounts the net/http/pprof handlers explicitly (the package
+// registers on http.DefaultServeMux by import side effect, which the
+// daemon never serves).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// apply starts, moves, or stops the profiling listener to match addr.
+// A listen failure logs and leaves profiling off — it never takes the
+// daemon down — and is retried on the next reload.
+func (p *pprofServer) apply(addr string, logw io.Writer) {
+	if addr == p.addr {
+		return
+	}
+	p.stop()
+	if addr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(logw, "serve: pprof %s: %v (profiling disabled)\n", addr, err)
+		return
+	}
+	p.addr = addr
+	p.ln = ln
+	p.srv = &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+	go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(p.srv, ln)
+	fmt.Fprintf(logw, "serve: pprof listening on %s\n", ln.Addr())
+}
+
+// stop closes the profiling listener if one is up. Profile requests in
+// flight are cut off — acceptable for a diagnostics endpoint being
+// deliberately retired.
+func (p *pprofServer) stop() {
+	if p.srv != nil {
+		_ = p.srv.Close()
+		p.srv, p.ln = nil, nil
+	}
+	p.addr = ""
+}
+
 // run serves until a termination signal, swapping engine generations
 // on SIGHUP and draining gracefully on SIGINT/SIGTERM.
 func run(addr, configPath string, base settings, grace time.Duration) error {
@@ -302,6 +376,9 @@ func run(addr, configPath string, base settings, grace time.Duration) error {
 	var swap swapHandler
 	swap.cur.Store(gen)
 	defer func() { _ = swap.cur.Load().engine.Close() }()
+	var prof pprofServer
+	prof.apply(s.Pprof, os.Stderr)
+	defer prof.stop()
 
 	srv := &http.Server{
 		Handler: &swap,
@@ -352,6 +429,7 @@ func run(addr, configPath string, base settings, grace time.Duration) error {
 			old := swap.cur.Swap(ng)
 			s = next
 			old.retire()
+			prof.apply(s.Pprof, os.Stderr)
 			fmt.Fprintf(os.Stderr, "serve: reloaded (store: %s%s)\n", storeLabel(s.Store), preloadLabel(s.Preload))
 		case <-ctx.Done():
 			fmt.Fprintf(os.Stderr, "serve: shutting down (grace %v)\n", grace)

@@ -37,11 +37,11 @@ func TestLoadConfig(t *testing.T) {
 		return path
 	}
 
-	got, err := loadConfig(write("# full override\n\nstore /data\npreload /data/warm.repack\nworkers 8\nmax-inflight 4\nrequest-timeout 2m\nv true\n"), base)
+	got, err := loadConfig(write("# full override\n\nstore /data\npreload /data/warm.repack\nworkers 8\nmax-inflight 4\nrequest-timeout 2m\npprof localhost:6060\nv true\n"), base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := settings{Store: "/data", Preload: "/data/warm.repack", Workers: 8, MaxInflight: 4, RequestTimeout: 2 * time.Minute, Verbose: true}
+	want := settings{Store: "/data", Preload: "/data/warm.repack", Workers: 8, MaxInflight: 4, RequestTimeout: 2 * time.Minute, Pprof: "localhost:6060", Verbose: true}
 	if got != want {
 		t.Fatalf("full file: got %+v, want %+v", got, want)
 	}
@@ -457,5 +457,55 @@ func TestPreloadDegradesOnCorruptPack(t *testing.T) {
 	}
 	if got := postFixpoint(t, gen); !bytes.Equal(got, cold) {
 		t.Fatal("store-served body behind a corrupt pack differs from cold body")
+	}
+}
+
+// TestPprofServerLifecycle drives the profiling listener through its
+// reload transitions: off → on (serving /debug/pprof/), moved (old
+// socket dead, new one serving), and off again — exactly what a
+// SIGHUP config change does to it.
+func TestPprofServerLifecycle(t *testing.T) {
+	var p pprofServer
+	logw := new(bytes.Buffer)
+
+	p.apply("127.0.0.1:0", logw)
+	if p.ln == nil {
+		t.Fatalf("apply did not bind: %s", logw)
+	}
+	first := p.ln.Addr().String()
+	fetch := func(addr string) (int, error) {
+		resp, err := http.Get("http://" + addr + "/debug/pprof/")
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	if status, err := fetch(first); err != nil || status != http.StatusOK {
+		t.Fatalf("pprof index: status %d, err %v", status, err)
+	}
+
+	// Same address: a no-op, the socket stays.
+	p.apply("127.0.0.1:0", logw)
+	if p.ln == nil || p.ln.Addr().String() != first {
+		t.Fatal("apply with unchanged address rebound the socket")
+	}
+
+	// Moved: the old socket must be dead, the new one serving.
+	p.stop()
+	p.apply("127.0.0.1:0", logw)
+	second := p.ln.Addr().String()
+	if status, err := fetch(second); err != nil || status != http.StatusOK {
+		t.Fatalf("moved pprof index: status %d, err %v", status, err)
+	}
+	if _, err := fetch(first); err == nil {
+		t.Fatal("old pprof socket still serving after the move")
+	}
+
+	// Off: the listener closes.
+	p.apply("", logw)
+	if _, err := fetch(second); err == nil {
+		t.Fatal("pprof socket still serving after disable")
 	}
 }

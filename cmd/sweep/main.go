@@ -20,7 +20,11 @@
 // stored results replay the exact trajectories a cold run computes.
 // The store also memoizes individual speedup steps, which warms even
 // tasks whose own checkpoint is missing; without -store an in-memory
-// step memo is shared across the tasks of this one run.
+// step memo is shared across the tasks of this one run. Alongside each
+// trajectory the sweep commits the pre-rendered NDJSON response body
+// for the same query (backfilling it on checkpoint hits from older
+// stores), so a daemon serving the store — or a pack built from it —
+// answers from the rendered tier without marshaling anything.
 //
 // The report is written only after every task has finished, in grid
 // order, so cold, warm, and interrupted-then-resumed runs emit
@@ -314,6 +318,13 @@ func run(cfg config, out, errw io.Writer) error {
 		t := tasks[i]
 		if st != nil {
 			if res, ok, err := st.GetTrajectory(t.Problem, params); ok {
+				// Backfill the rendered body when absent, so resweeping
+				// a store from before the rendered tier upgrades it.
+				if _, rok, rerr := st.GetRendered(t.Problem, params); !rok && rerr == nil {
+					if err := st.PutRendered(t.Problem, params, service.RenderFixpointNDJSON(res)); err != nil {
+						return fmt.Errorf("%s: render checkpoint: %w", t.Name, err)
+					}
+				}
 				rows[i] = makeRow(t, res)
 				if cfg.verbose {
 					fmt.Fprintf(errw, "sweep: %-32s checkpoint hit\n", t.Name)
@@ -335,6 +346,15 @@ func run(cfg config, out, errw io.Writer) error {
 		if st != nil {
 			if err := st.PutTrajectory(t.Problem, params, res); err != nil {
 				return fmt.Errorf("%s: checkpoint: %w", t.Name, err)
+			}
+			// Pre-render the NDJSON response body alongside the
+			// trajectory: a daemon serving this store (or a pack built
+			// from it) answers the query from the rendered tier with a
+			// single lookup, no marshaling. Render failure is
+			// impossible (closed struct types), commit failure only
+			// costs warmth.
+			if err := st.PutRendered(t.Problem, params, service.RenderFixpointNDJSON(res)); err != nil {
+				return fmt.Errorf("%s: render checkpoint: %w", t.Name, err)
 			}
 		}
 		rows[i] = makeRow(t, res)

@@ -244,9 +244,12 @@ func TestPackModeEmitsArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pr.Close()
-	steps, trajs := countSweepObjects(t, dir)
-	if pr.Len() != steps+trajs || pr.Len() == 0 {
-		t.Fatalf("pack holds %d record(s), store has %d", pr.Len(), steps+trajs)
+	steps, trajs, rendered := countSweepObjects(t, dir)
+	if rendered == 0 || rendered != trajs {
+		t.Fatalf("store has %d rendered record(s) for %d trajectories, want one each", rendered, trajs)
+	}
+	if pr.Len() != steps+trajs+rendered || pr.Len() == 0 {
+		t.Fatalf("pack holds %d record(s), store has %d", pr.Len(), steps+trajs+rendered)
 	}
 
 	pack2 := filepath.Join(t.TempDir(), "warm2.repack")
@@ -294,16 +297,16 @@ func TestReportCommitIsAtomic(t *testing.T) {
 	}
 }
 
-// countSweepObjects tallies the store's step and trajectory records.
-func countSweepObjects(t *testing.T, dir string) (steps, trajs int) {
+// countSweepObjects tallies the store's step, trajectory, and
+// rendered-body records.
+func countSweepObjects(t *testing.T, dir string) (steps, trajs, rendered int) {
 	t.Helper()
-	matchesStep, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.step"))
-	if err != nil {
-		t.Fatal(err)
+	count := func(ext string) int {
+		matches, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*."+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(matches)
 	}
-	matchesTraj, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.traj"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return len(matchesStep), len(matchesTraj)
+	return count("step"), count("traj"), count("rendered")
 }

@@ -225,6 +225,21 @@ func (s Set) UnionInPlace(t Set) {
 	}
 }
 
+// ClearInPlace empties s without allocating.
+func (s Set) ClearInPlace() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// FillInPlace sets s = {0, ..., n-1} without allocating.
+func (s Set) FillInPlace() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
 // SubsetOf reports whether s ⊆ t.
 func (s Set) SubsetOf(t Set) bool {
 	s.sameUniverse(t)
@@ -273,15 +288,21 @@ func (s Set) sameUniverse(t Set) {
 
 // Indices returns the elements of the set in increasing order.
 func (s Set) Indices() []int {
-	out := make([]int, 0, s.Count())
+	return s.AppendIndices(make([]int, 0, s.Count()))
+}
+
+// AppendIndices appends the elements of the set to dst in increasing
+// order and returns the extended slice — the allocation-free variant of
+// Indices for callers that reuse scratch.
+func (s Set) AppendIndices(dst []int) []int {
 	for wi, w := range s.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, wi*wordBits+b)
+			dst = append(dst, wi*wordBits+b)
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
 }
 
 // ForEach calls fn for each element in increasing order. If fn returns

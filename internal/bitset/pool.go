@@ -1,0 +1,80 @@
+package bitset
+
+// Pooled scratch sets. The engine's enumeration hot paths burn through
+// short-lived bitsets — one scratch intersection buffer per closedSets
+// call, one reach accumulator per derived label — and at fixpoint-service
+// request rates those allocations dominate the GC profile. Get/Put
+// recycle backing word arrays through sync.Pools bucketed in
+// power-of-two size bands (the semadb/vamana pooled-visit-set idiom):
+// a Get rounds the word count up to the band, so a pool entry can serve
+// every universe size in its band and the number of distinct pools
+// stays logarithmic in the largest alphabet ever seen.
+//
+// Contract: a set obtained from Get is empty and must not escape the
+// call frame that Put returns it from — pooled words are reused
+// wholesale, so retaining a view of a returned set is a data race by
+// construction. Results that outlive the computation must be built
+// with New/Clone, never with Get.
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxPoolBand caps which scratch sets are recycled: sets wider than
+// 2^maxPoolBand words (64Ki labels) are rare one-offs, and keeping them
+// out of the pools stops a single huge enumeration from pinning
+// megabytes of idle scratch forever.
+const maxPoolBand = 10
+
+// pools[b] recycles word slices of capacity exactly 2^b.
+var pools [maxPoolBand + 1]sync.Pool
+
+// band returns the pool index whose slice capacity (2^band) covers
+// words, and ok=false when the size exceeds the pooled range.
+func band(words int) (int, bool) {
+	if words <= 0 {
+		return 0, true
+	}
+	b := bits.Len(uint(words - 1)) // ceil(log2(words))
+	return b, b <= maxPoolBand
+}
+
+// Get returns an empty scratch set over a universe of n elements, drawn
+// from the size-banded pool when possible. Pair every Get with a Put of
+// the same set once no view of it can be live; see the file comment for
+// the escape contract.
+func Get(n int) Set {
+	if n < 0 {
+		panic("bitset: negative universe size")
+	}
+	words := (n + wordBits - 1) / wordBits
+	b, ok := band(words)
+	if !ok {
+		return New(n)
+	}
+	v := pools[b].Get()
+	if v == nil {
+		return Set{n: n, words: make([]uint64, words, 1<<b)}
+	}
+	backing := v.([]uint64)[:words]
+	for i := range backing {
+		backing[i] = 0
+	}
+	return Set{n: n, words: backing}
+}
+
+// Put recycles a set previously returned by Get. Sets from New/Clone
+// (or zero-value sets) are accepted and dropped when their capacity is
+// not an exact pool band, so callers can Put unconditionally.
+func Put(s Set) {
+	c := cap(s.words)
+	if c == 0 || c&(c-1) != 0 {
+		return // not a pool-banded backing array
+	}
+	b, ok := band(c)
+	if !ok {
+		return
+	}
+	pools[b].Put(s.words[:0:c])
+}

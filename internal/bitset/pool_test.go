@@ -1,0 +1,70 @@
+package bitset
+
+import (
+	"testing"
+)
+
+// TestGetReturnsEmpty locks the pool's core contract: a recycled set
+// must come back empty even when its previous user left bits behind.
+func TestGetReturnsEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200, 1000} {
+		s := Get(n)
+		if s.Len() != n {
+			t.Fatalf("Get(%d).Len() = %d", n, s.Len())
+		}
+		if !s.Empty() {
+			t.Fatalf("Get(%d) not empty", n)
+		}
+		for i := 0; i < n; i += 7 {
+			s.Add(i)
+		}
+		Put(s)
+		r := Get(n)
+		if !r.Empty() {
+			t.Fatalf("recycled Get(%d) not empty: %v", n, r.Indices())
+		}
+		Put(r)
+	}
+}
+
+// TestPoolBanding checks that Get rounds capacities up to power-of-two
+// word bands and that differently-sized universes within one band can
+// share a recycled backing array.
+func TestPoolBanding(t *testing.T) {
+	s := Get(3 * 64) // 3 words → 4-word band
+	if c := cap(s.words); c != 4 {
+		t.Fatalf("cap = %d words, want 4", c)
+	}
+	Put(s)
+	r := Get(4 * 64) // same band, larger universe
+	if r.Len() != 4*64 || !r.Empty() {
+		t.Fatalf("band reuse broke the Get contract: len=%d empty=%t", r.Len(), r.Empty())
+	}
+	Put(r)
+}
+
+// TestPutForeignSet checks Put accepts (and silently drops or recycles)
+// sets that did not come from Get, so call sites can Put unconditionally.
+func TestPutForeignSet(t *testing.T) {
+	Put(Set{})       // zero value
+	Put(New(100))    // New-backed, 2-word cap: a valid band
+	Put(New(3 * 64)) // 3-word cap: not a power of two, dropped
+	Put(FromIndices(5, 1))
+
+	huge := Set{n: (1 << (maxPoolBand + 6)) * 2, words: make([]uint64, 1<<(maxPoolBand+1))}
+	Put(huge) // beyond the banded range, dropped
+}
+
+// TestPoolOpsMatchNew cross-checks that pooled scratch behaves exactly
+// like a fresh set under the engine's hot operations.
+func TestPoolOpsMatchNew(t *testing.T) {
+	a := FromIndices(130, 1, 64, 100, 129)
+	b := FromIndices(130, 1, 2, 100)
+	scratch := Get(130)
+	defer Put(scratch)
+	a.IntersectInto(b, scratch)
+	want := a.Intersect(b)
+	if !scratch.Equal(want) {
+		t.Fatalf("IntersectInto via pooled scratch = %v, want %v", scratch.Indices(), want.Indices())
+	}
+}

@@ -232,9 +232,16 @@ func (r edgeRelation) compatible(y, z Label) bool {
 // the full alphabet.
 func (r edgeRelation) comp(s bitset.Set) bitset.Set {
 	out := bitset.Full(r.n)
+	r.compInto(s, out)
+	return out
+}
+
+// compInto computes comp(s) into dst without allocating; dst must share
+// the relation's universe (any prior contents are overwritten).
+func (r edgeRelation) compInto(s, dst bitset.Set) {
+	dst.FillInPlace()
 	s.ForEach(func(z int) bool {
-		out.IntersectInPlace(r.neighbors[z])
+		dst.IntersectInPlace(r.neighbors[z])
 		return true
 	})
-	return out
 }

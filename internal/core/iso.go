@@ -153,6 +153,16 @@ func NewFingerprinter() *Fingerprinter {
 	}
 }
 
+// Reset empties the fingerprint arenas in place, keeping their backing
+// storage, so a pooled Fingerprinter can be reused across runs. Every
+// previously returned Fingerprint is invalidated: fingerprints are only
+// comparable within one Reset epoch.
+func (f *Fingerprinter) Reset() {
+	f.profiles.Reset()
+	f.sigs.Reset()
+	f.fps.Reset()
+}
+
 // Fingerprint returns the interned fingerprint of p: description sizes
 // plus the sorted multiset of per-label signature handles.
 func (f *Fingerprinter) Fingerprint(p *Problem) Fingerprint {

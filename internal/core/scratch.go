@@ -1,0 +1,87 @@
+package core
+
+// Pooled per-run scratch for the enumeration hot paths. Every speedup
+// step builds and discards the same short-lived structures — interning
+// arenas for closed-set dedup, label-multiplicity count maps, packed
+// choice vectors — and at service request rates those allocations, not
+// the set algebra, dominate the profile. The pools below recycle them
+// across calls. Nothing pooled ever escapes into a result: results are
+// built from fresh or arena-owned storage, and each helper's Put runs
+// only after the last read of the scratch, so pooling is invisible to
+// the byte-identity contract (locked by the golden corpus tests).
+
+import (
+	"sync"
+
+	"repro/internal/intern"
+)
+
+// maxPooledTableWords bounds the arena size kept for reuse: a table
+// whose data grew beyond this is a one-off giant (huge derived
+// alphabet) and is dropped so the pool cannot pin its memory forever.
+const maxPooledTableWords = 1 << 16
+
+// tablePool recycles interning arenas used as per-call dedup scratch.
+var tablePool = sync.Pool{New: func() any { return intern.NewTable(64) }}
+
+// getTable returns an empty scratch arena.
+func getTable() *intern.Table { return tablePool.Get().(*intern.Table) }
+
+// putTable resets and recycles a scratch arena (oversized ones are
+// dropped; see maxPooledTableWords).
+func putTable(t *intern.Table) {
+	if t.WordCap() > maxPooledTableWords {
+		return
+	}
+	t.Reset()
+	tablePool.Put(t)
+}
+
+// labelCountsPool recycles the Label-multiplicity maps the multiset
+// enumerations (liftConfig, allChoicesIn) accumulate into.
+var labelCountsPool = sync.Pool{New: func() any { return make(map[Label]int, 8) }}
+
+// getLabelCounts returns an empty multiplicity map.
+func getLabelCounts() map[Label]int { return labelCountsPool.Get().(map[Label]int) }
+
+// putLabelCounts clears and recycles a multiplicity map.
+func putLabelCounts(m map[Label]int) {
+	clear(m)
+	labelCountsPool.Put(m)
+}
+
+// choiceScratch is the per-call working state of fastNodeSet.allChoices:
+// the packed multiplicity vector and the expanded member lists of each
+// group. Pooled because the exploration strategy calls allChoices once
+// per (configuration, candidate-label) pair — the innermost loop of
+// SecondHalfStep.
+type choiceScratch struct {
+	counts  []uint64
+	members [][]int
+}
+
+// choicePool recycles choiceScratch values across allChoices calls.
+var choicePool = sync.Pool{New: func() any { return new(choiceScratch) }}
+
+// getChoiceScratch returns scratch with counts zeroed to words lanes and
+// members sized (but not filled) for groups entries.
+func getChoiceScratch(words, groups int) *choiceScratch {
+	cs := choicePool.Get().(*choiceScratch)
+	if cap(cs.counts) < words {
+		cs.counts = make([]uint64, words)
+	} else {
+		cs.counts = cs.counts[:words]
+		clear(cs.counts)
+	}
+	if cap(cs.members) < groups {
+		cs.members = make([][]int, groups)
+	} else {
+		cs.members = cs.members[:groups]
+	}
+	return cs
+}
+
+// putChoiceScratch recycles the scratch. The member lists themselves are
+// kept for reuse (their backing arrays are overwritten by the next
+// call's Indices fills).
+func putChoiceScratch(cs *choiceScratch) { choicePool.Put(cs) }

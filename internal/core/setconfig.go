@@ -215,7 +215,8 @@ func (sc setConfig) compare(a *setArena, other setConfig) int {
 // the work polynomial in the number of distinct choice multisets rather
 // than exponential in the arity.
 func (sc setConfig) allChoicesIn(a *setArena, h Constraint, extra []Label) bool {
-	counts := make(map[Label]int, 8)
+	counts := getLabelCounts()
+	defer putLabelCounts(counts)
 	for _, l := range extra {
 		counts[l]++
 	}
@@ -519,12 +520,13 @@ func (f fastNodeSet) lane(l Label) (int, uint64) {
 // occurrence of extra, is an allowed configuration. Read-only on the
 // arena, so concurrent workers share it freely.
 func (f fastNodeSet) allChoices(a *setArena, groups []scGroup, extra Label) bool {
-	counts := make([]uint64, f.words)
+	cs := getChoiceScratch(f.words, len(groups))
+	defer putChoiceScratch(cs)
+	counts, members := cs.counts, cs.members
 	w, inc := f.lane(extra)
 	counts[w] += inc
-	members := make([][]int, len(groups))
 	for i, g := range groups {
-		members[i] = a.view(g.set).Indices()
+		members[i] = a.view(g.set).AppendIndices(members[i][:0])
 	}
 	var rec func(gi int) bool
 	rec = func(gi int) bool {

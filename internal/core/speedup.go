@@ -102,9 +102,12 @@ func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
 	// New alphabet: the closed sets, already deduplicated and sorted
 	// canonically by closedSets. Interning them in sorted order makes
 	// handle i the derived label i, so the comp lookup below is a plain
-	// arena probe instead of a string-keyed map.
+	// arena probe instead of a string-keyed map. The index arena and the
+	// comp scratch set are pooled per-call scratch: nothing derived from
+	// them outlives this function.
 	sets := closedSets(rel, n)
-	indexOf := intern.NewTable(len(sets))
+	indexOf := getTable()
+	defer putTable(indexOf)
 	for _, s := range sets {
 		indexOf.Intern(s.Words())
 	}
@@ -112,8 +115,10 @@ func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
 
 	// Edge constraint: {Y, comp(Y)} for each closed Y.
 	edge := NewConstraint(2)
+	partner := bitset.Get(n)
+	defer bitset.Put(partner)
 	for i, s := range sets {
-		partner := rel.comp(s)
+		rel.compInto(s, partner)
 		j, ok := indexOf.Lookup(partner.Words())
 		if !ok {
 			// comp of a closed set is closed, so it must be present.
@@ -182,11 +187,13 @@ func HalfStep(p *Problem, opts ...Option) (*Problem, error) {
 // being re-inserted (the old map rebuilt and re-keyed every
 // intersection, a quadratic waste once the closure stabilizes).
 func closedSets(rel edgeRelation, n int) []bitset.Set {
-	acc := intern.NewTable(2*n + 2)
+	acc := getTable()
+	defer putTable(acc)
 	sets := make([]bitset.Set, 0, n+1)
 	sets = append(sets, bitset.Full(n))
 	acc.Intern(sets[0].Words())
-	scratch := bitset.New(n)
+	scratch := bitset.Get(n)
+	defer bitset.Put(scratch)
 	for z := 0; z < n; z++ {
 		nb := rel.neighbors[z]
 		// Intersect nb with everything collected so far (the snapshot
@@ -228,7 +235,8 @@ func liftConfig(cfg Config, candidates [][]Label, dst Constraint, budget *stateB
 		return nil
 	}
 
-	counts := make(map[Label]int)
+	counts := getLabelCounts()
+	defer putLabelCounts(counts)
 	var rec func(gi int) error
 	rec = func(gi int) error {
 		if gi == len(groups) {
@@ -326,9 +334,11 @@ func SecondHalfStep(half *Problem, opts ...Option) (*Problem, error) {
 	// Edge constraint: existential lift of the half problem's relation.
 	rel := newEdgeRelation(half.Edge, half.Alpha.Size())
 	edge := NewConstraint(2)
+	reach := bitset.Get(half.Alpha.Size())
+	defer bitset.Put(reach)
 	for i := range sets {
 		// reach = union of compatibility neighborhoods of members of W.
-		reach := bitset.New(half.Alpha.Size())
+		reach.ClearInPlace()
 		sets[i].ForEach(func(w int) bool {
 			reach.UnionInPlace(rel.neighbors[w])
 			return true

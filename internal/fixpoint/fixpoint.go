@@ -168,6 +168,11 @@ func (m *MapMemo) Len() int {
 	return len(m.m)
 }
 
+// fingerprinterPool recycles the per-run isomorphism-fingerprint arenas
+// (core.Fingerprinter holds three interning tables that would otherwise
+// be rebuilt from scratch on every Run).
+var fingerprinterPool = sync.Pool{New: func() any { return core.NewFingerprinter() }}
+
 // DefaultMaxSteps bounds the iteration when Options.MaxSteps is unset.
 // Trajectories that neither close nor collapse within this many steps
 // are typically growing without bound.
@@ -235,8 +240,14 @@ func Run(p *core.Problem, opts Options) (*Result, error) {
 	// Isomorphism-class memo: interned invariant fingerprint →
 	// trajectory indices, confirmed pairwise by core.Isomorphic within
 	// a bucket. One Fingerprinter spans the whole run, so fingerprints
-	// of different trajectory entries are comparable handles.
-	fp := core.NewFingerprinter()
+	// of different trajectory entries are comparable handles. The
+	// fingerprinter's arenas are pooled per-run scratch: fingerprints
+	// never leave Run, so recycling them cannot be observed in a Result.
+	fp := fingerprinterPool.Get().(*core.Fingerprinter)
+	defer func() {
+		fp.Reset()
+		fingerprinterPool.Put(fp)
+	}()
 	buckets := map[core.Fingerprint][]int{fp.Fingerprint(start): {0}}
 
 	cur := start

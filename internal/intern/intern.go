@@ -183,6 +183,29 @@ func (t *Table) grow() {
 	}
 }
 
+// WordCap reports the capacity of the arena's backing word storage —
+// what a pooled table pins while idle. Pool maintainers use it to drop
+// tables that grew too large to be worth keeping.
+func (t *Table) WordCap() int {
+	t.mu.RLock()
+	c := cap(t.data)
+	t.mu.RUnlock()
+	return c
+}
+
+// Reset empties the arena in place, keeping its backing storage (data,
+// offsets, probe table), so a pooled table can be reused across runs
+// without reallocating. Every previously issued Handle — and every
+// slice previously returned by Seq — is invalidated; callers that pool
+// tables must not Reset while any goroutine still holds either.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	t.data = t.data[:0]
+	t.off = t.off[:1]
+	clear(t.tab)
+	t.mu.Unlock()
+}
+
 // Clone returns an independent copy of the arena with identical handle
 // assignments.
 func (t *Table) Clone() *Table {

@@ -1,0 +1,48 @@
+package intern
+
+import "testing"
+
+// TestTableReset locks the pooled-reuse contract: after Reset the table
+// is empty, re-interns from handle 0, and behaves identically to a
+// fresh table.
+func TestTableReset(t *testing.T) {
+	tab := NewTable(4)
+	h1 := tab.Intern([]uint64{1, 2})
+	h2 := tab.Intern([]uint64{3})
+	if h1 != 0 || h2 != 1 || tab.Len() != 2 {
+		t.Fatalf("pre-reset handles %d,%d len %d", h1, h2, tab.Len())
+	}
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tab.Len())
+	}
+	if _, ok := tab.Lookup([]uint64{1, 2}); ok {
+		t.Fatal("Reset table still resolves old sequence")
+	}
+	h := tab.Intern([]uint64{9, 9, 9})
+	if h != 0 {
+		t.Fatalf("first handle after Reset = %d, want 0", h)
+	}
+	if got, ok := tab.Lookup([]uint64{9, 9, 9}); !ok || got != 0 {
+		t.Fatalf("Lookup after Reset = %d, %t", got, ok)
+	}
+}
+
+// TestTableResetKeepsCapacity checks Reset reuses the grown probe table
+// rather than shrinking it (the point of pooling).
+func TestTableResetKeepsCapacity(t *testing.T) {
+	tab := NewTable(0)
+	for i := uint64(0); i < 100; i++ {
+		tab.Intern([]uint64{i})
+	}
+	grown := len(tab.tab)
+	tab.Reset()
+	if len(tab.tab) != grown {
+		t.Fatalf("probe table shrank on Reset: %d -> %d", grown, len(tab.tab))
+	}
+	for i := uint64(0); i < 100; i++ {
+		if h := tab.Intern([]uint64{i * 3}); int(h) != int(i) {
+			t.Fatalf("handle %d after reuse, want %d", h, i)
+		}
+	}
+}

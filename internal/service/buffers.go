@@ -1,0 +1,78 @@
+package service
+
+// Pooled render buffers. Every response body the service writes — an
+// NDJSON stream line, a rendered trajectory body, a JSON envelope — is
+// staged in a lineBuf drawn from bufPool and returned after the bytes
+// are copied out or written to the wire. The pooling invariant, locked
+// by TestConcurrentPooledByteIdentity and TestBufferPoolBalance, is
+// that pooled storage never escapes into a response: callers
+// either copy the staged bytes into a fresh right-sized slice (bodies
+// that are retained in caches or singleflight chunks) or finish their
+// ResponseWriter.Write before the Put (bodies that go straight to the
+// wire). A lineBuf also carries a double-put guard: returning a buffer
+// twice would let two goroutines render into the same storage, which is
+// exactly the corruption the invariant exists to prevent, so putBuf
+// panics instead.
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// lineBuf is one pooled render buffer: a bytes.Buffer with a JSON
+// encoder permanently bound to it and a double-put guard.
+type lineBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+	out bool // drawn from the pool and not yet returned
+}
+
+// encode appends the JSON encoding of v plus a trailing newline to the
+// buffer — byte-identical to json.Marshal(v) followed by '\n', which is
+// the service's NDJSON line format. Marshaling the service's closed
+// struct types cannot fail.
+func (b *lineBuf) encode(v any) {
+	if err := b.enc.Encode(v); err != nil {
+		panic("service: marshal stream line: " + err.Error())
+	}
+}
+
+// maxPooledBuf caps the capacity a recycled buffer may retain: one
+// pathological giant body must not pin its storage in the pool forever.
+const maxPooledBuf = 64 << 10
+
+// bufPool recycles lineBufs across requests.
+var bufPool = sync.Pool{New: func() any {
+	b := new(lineBuf)
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+// bufsLive counts buffers currently drawn from the pool — the leak
+// detector the pool-correctness tests assert returns to zero.
+var bufsLive atomic.Int64
+
+// getBuf draws an empty render buffer from the pool.
+func getBuf() *lineBuf {
+	b := bufPool.Get().(*lineBuf)
+	b.out = true
+	bufsLive.Add(1)
+	return b
+}
+
+// putBuf returns a buffer to the pool. Double puts panic (see the file
+// comment); oversized buffers are dropped so the pool stays small.
+func putBuf(b *lineBuf) {
+	if !b.out {
+		panic("service: render buffer returned to the pool twice")
+	}
+	b.out = false
+	bufsLive.Add(-1)
+	if b.buf.Cap() > maxPooledBuf {
+		return
+	}
+	b.buf.Reset()
+	bufPool.Put(b)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 )
 
 // MaxRequestBody caps the accepted request-body size (1 MiB):
@@ -60,13 +61,28 @@ func registerQueryRoutes(mux *http.ServeMux, e *Engine, m *Metrics) {
 			writeError(w, err)
 			return
 		}
+		// Warm fast path: a body any warm tier can supply whole is
+		// served fully buffered — one Write, with a Content-Length —
+		// instead of through the streaming machinery. The bytes are the
+		// same either way.
+		if body, ok, err := e.FixpointBody(req); err != nil {
+			writeError(w, err)
+			return
+		} else if ok {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(body)
+			m.streamedBody(body)
+			return
+		}
 		streaming := false
 		// ResponseController unwraps middleware wrappers (obs.Wrap's
 		// Unwrap chain), so flushing works through any depth of
 		// logging/metrics middleware — a plain w.(http.Flusher)
 		// assertion would fail on the first wrapper that hides it.
 		rc := http.NewResponseController(w)
-		err := e.Fixpoint(r.Context(), req, func(line []byte) error {
+		err := e.fixpointCold(r.Context(), req, func(line []byte) error {
 			if !streaming {
 				w.Header().Set("Content-Type", "application/x-ndjson")
 				w.WriteHeader(http.StatusOK)
@@ -117,6 +133,9 @@ func registerQueryRoutes(mux *http.ServeMux, e *Engine, m *Metrics) {
 			status = http.StatusConflict
 		}
 		w.Header().Set("Content-Type", "application/json")
+		// The reply is fully buffered, so its length is known before
+		// the header goes out.
+		w.Header().Set("Content-Length", strconv.Itoa(len(resp.Body)+1))
 		w.WriteHeader(status)
 		// resp.Body is shared across subscribers and cache hits — it
 		// must never be appended to (the spare capacity race); the
@@ -154,30 +173,43 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 
 // writeJSON serves a marshaled body with a trailing newline (curl
 // friendliness; part of the byte-identity contract, applied uniformly).
+// The body is staged in full — through a pooled buffer, with the
+// encoder's output byte-identical to json.Marshal plus newline —
+// before any byte reaches the wire: a marshal failure degrades to a
+// clean error envelope, never a half-written 200, and success replies
+// carry an exact Content-Length.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	body, err := json.Marshal(v)
-	if err != nil {
+	b := getBuf()
+	defer putBuf(b)
+	if err := b.enc.Encode(v); err != nil {
 		writeError(w, fmt.Errorf("render response: %w", err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(b.buf.Len()))
 	w.WriteHeader(status)
-	_, _ = w.Write(append(body, '\n'))
+	_, _ = w.Write(b.buf.Bytes())
 }
 
-// writeError serves the error envelope under StatusOf's mapping.
+// writeError serves the error envelope under StatusOf's mapping, fully
+// staged like writeJSON: the envelope is rendered before the header is
+// written (an unmarshalable envelope — impossible for the closed
+// struct, but guarded anyway — degrades to http.Error), so clients
+// never see a half-written error body.
 func writeError(w http.ResponseWriter, err error) {
 	var payload = struct {
 		Error string `json:"error"`
 	}{Error: err.Error()}
-	body, merr := json.Marshal(payload)
-	if merr != nil {
+	b := getBuf()
+	defer putBuf(b)
+	if merr := b.enc.Encode(payload); merr != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(b.buf.Len()))
 	w.WriteHeader(StatusOf(err))
-	_, _ = w.Write(append(body, '\n'))
+	_, _ = w.Write(b.buf.Bytes())
 }
 
 // mustMarshal marshals a value that cannot fail (closed map/struct

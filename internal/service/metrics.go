@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -60,8 +61,11 @@ type requestKey struct {
 
 // warmTiers are the warm-lookup record tiers instrumented by the
 // engine: the preloaded pack artifact, full-step memo entries, whole
-// trajectories, rendered verdicts, and in-process half steps.
-var warmTiers = []string{"pack", "step", "trajectory", "verdict", "half"}
+// trajectories, pre-rendered response bodies, rendered verdicts, and
+// in-process half steps. The "rendered" tier folds its whole chain —
+// in-process memo, pack record, store record — into at most one
+// outcome per request.
+var warmTiers = []string{"pack", "step", "trajectory", "rendered", "verdict", "half"}
 
 // warmOutcomes are the per-tier lookup outcomes: "hit" served a record,
 // "miss" fell through cleanly, "corrupt" fell through because the
@@ -153,6 +157,17 @@ func (m *Metrics) streamedLine(n int) {
 	}
 	m.streamLines.Inc()
 	m.streamBytes.Add(int64(n))
+}
+
+// streamedBody records a fully-buffered NDJSON body put on the wire,
+// counting its lines so a warm buffered serve reports exactly like the
+// same body streamed line by line.
+func (m *Metrics) streamedBody(body []byte) {
+	if m == nil {
+		return
+	}
+	m.streamLines.Add(int64(bytes.Count(body, []byte{'\n'})))
+	m.streamBytes.Add(int64(len(body)))
 }
 
 // httpDone records one finished request.
@@ -354,8 +369,8 @@ type SingleflightStat struct {
 
 // StoreStat is one warm tier's lookup-outcome count.
 type StoreStat struct {
-	// Tier is the record tier ("pack", "step", "trajectory", "verdict",
-	// "half").
+	// Tier is the record tier ("pack", "step", "trajectory",
+	// "rendered", "verdict", "half").
 	Tier string `json:"tier"`
 	// Hits counts warm lookups that were served.
 	Hits int64 `json:"hits"`

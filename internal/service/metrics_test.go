@@ -135,8 +135,8 @@ func TestMetricsObserveDedupAndWarmth(t *testing.T) {
 	if got := series[`re_singleflight_requests_total{role="follower"}`]; got <= 0 {
 		t.Fatalf("follower count = %v, want > 0 (no in-flight dedup observed)", got)
 	}
-	if got := series[`re_warm_lookups_total{tier="trajectory",outcome="hit"}`]; got < clients {
-		t.Fatalf("trajectory hits = %v, want >= %d (warm burst not observed)", got, clients)
+	if got := series[`re_warm_lookups_total{tier="rendered",outcome="hit"}`]; got < clients {
+		t.Fatalf("rendered hits = %v, want >= %d (warm burst not observed)", got, clients)
 	}
 	if got := series[`re_gate_capacity`]; got < 1 {
 		t.Fatalf("gate capacity = %v, want >= 1", got)
@@ -154,14 +154,14 @@ func TestMetricsObserveDedupAndWarmth(t *testing.T) {
 	if stats.Singleflight.DedupRatio <= 0 {
 		t.Fatalf("stats dedup ratio = %v, want > 0", stats.Singleflight.DedupRatio)
 	}
-	var trajHits int64
+	var renderedHits int64
 	for _, s := range stats.Store {
-		if s.Tier == "trajectory" {
-			trajHits = s.Hits
+		if s.Tier == "rendered" {
+			renderedHits = s.Hits
 		}
 	}
-	if trajHits < clients {
-		t.Fatalf("stats trajectory hits = %d, want >= %d", trajHits, clients)
+	if renderedHits < clients {
+		t.Fatalf("stats rendered hits = %d, want >= %d", renderedHits, clients)
 	}
 	if len(stats.Requests) == 0 || stats.Stream.Lines == 0 {
 		t.Fatalf("stats missing request counts or stream volume: %s", statsBody)

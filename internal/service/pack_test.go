@@ -152,7 +152,7 @@ func TestCorruptWarmRecordsDegrade(t *testing.T) {
 			t.Errorf("%s: body over corrupted store differs from cold body", name)
 		}
 	}
-	for _, tier := range []string{"step", "trajectory", "verdict"} {
+	for _, tier := range []string{"step", "trajectory", "rendered", "verdict"} {
 		if row := tierStat(t, m, e, tier); row.Corrupt == 0 {
 			t.Errorf("tier %q reported no corrupt outcomes over a fully-corrupted store", tier)
 		}
@@ -180,7 +180,7 @@ func TestCorruptPackFallsThrough(t *testing.T) {
 	if pack.Hits != 0 || pack.Misses == 0 {
 		t.Fatalf("pack tier = %+v, want only misses", pack)
 	}
-	if row := tierStat(t, m, e, "trajectory"); row.Hits == 0 {
-		t.Fatalf("trajectory tier = %+v, want store hits behind the empty pack", row)
+	if row := tierStat(t, m, e, "rendered"); row.Hits == 0 {
+		t.Fatalf("rendered tier = %+v, want store hits behind the empty pack", row)
 	}
 }

@@ -111,6 +111,13 @@ type Engine struct {
 	verdictCache map[store.VerdictParams][]byte // memory mode: rendered verdict warm cache
 	flight       map[string]*call
 
+	// rendered memoizes complete fixpoint response bodies by exact raw
+	// request text — the hottest warm tier, consulted before parsing.
+	// Guarded by its own lock so rendered hits never contend with the
+	// flight table or the memory-mode caches.
+	renderedMu sync.RWMutex
+	rendered   map[renderedKey][]byte
+
 	// stepHook, when non-nil, fires synchronously after each fixpoint
 	// trajectory entry is emitted. Test seam: shutdown tests use it to
 	// close the engine at a deterministic point mid-trajectory.
@@ -129,6 +136,7 @@ func New(cfg Config) (*Engine, error) {
 		trajCache:    make(map[string]*fixpoint.Result),
 		verdictCache: make(map[store.VerdictParams][]byte),
 		flight:       make(map[string]*call),
+		rendered:     make(map[renderedKey][]byte),
 	}
 	e.metrics.observeGate(e.gate)
 	if cfg.StoreDir != "" {

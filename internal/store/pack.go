@@ -48,7 +48,13 @@ import (
 // every pack header and rejected on mismatch by OpenPack. Like the
 // record FormatVersion there is no migration path: a pack is a cache
 // artifact, rebuilt from a store (or recomputed) when the format moves.
-const PackFormatVersion = 1
+// Version 2 added the KindRendered section — pre-rendered response
+// bodies packed alongside the records they were rendered from. A v1
+// pack would still parse, but serving it would silently miss the
+// rendered tier on every query, so the version gate turns "stale
+// artifact" into an explicit rebuild signal instead of a quiet
+// performance regression.
+const PackFormatVersion = 2
 
 // packMagic opens every pack file. Eight bytes, fixed; distinct from
 // the per-record magic so a pack can never be mistaken for a record.
@@ -114,6 +120,8 @@ func (s *Store) Pack(path string) (PackStats, error) {
 			kind = KindTrajectory
 		case ".verdict":
 			kind = KindVerdict
+		case ".rendered":
+			kind = KindRendered
 		default:
 			return nil // temp files and foreign files are not records
 		}

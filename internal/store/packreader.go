@@ -208,6 +208,18 @@ func (pr *PackReader) GetTrajectory(in *core.Problem, par TrajectoryParams) (*fi
 	return decodeTrajectoryPayload(payload, in, par)
 }
 
+// GetRendered mirrors Store.GetRendered over the pack: the exact
+// pre-rendered NDJSON response body for the query, behind the same
+// collision guard, so a pack-served body is byte-identical to a
+// store-served or freshly rendered one.
+func (pr *PackReader) GetRendered(in *core.Problem, par TrajectoryParams) ([]byte, bool, error) {
+	payload, ok := pr.lookup(KindRendered, subKey(core.StableKey(in), renderedTag(par)))
+	if !ok {
+		return nil, false, nil
+	}
+	return decodeRenderedPayload(payload, in, par)
+}
+
 // GetVerdict mirrors Store.GetVerdict over the pack.
 func (pr *PackReader) GetVerdict(in *core.Problem, par VerdictParams) ([]byte, bool, error) {
 	payload, ok := pr.lookup(KindVerdict, subKey(core.StableKey(in), par.tag()))

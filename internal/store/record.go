@@ -38,6 +38,10 @@ const (
 	// KindVerdict records one rendered oracle verdict (a decision or
 	// conformance report) under explicit family/seed/round parameters.
 	KindVerdict Kind = 3
+	// KindRendered records the exact pre-rendered NDJSON response body
+	// of one classified fixpoint query under explicit budget parameters,
+	// so a warm hit serves cached bytes with zero marshaling.
+	KindRendered Kind = 4
 )
 
 // ext returns the filename extension of the kind.
@@ -49,6 +53,8 @@ func (k Kind) ext() string {
 		return "traj"
 	case KindVerdict:
 		return "verdict"
+	case KindRendered:
+		return "rendered"
 	default:
 		return fmt.Sprintf("kind%d", uint32(k))
 	}

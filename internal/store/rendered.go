@@ -1,0 +1,78 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// renderedTag renders TrajectoryParams into the key-derivation
+// discriminator of a KindRendered record. Rendered bodies share the
+// trajectory record's identity — (StableKey, MaxSteps, MaxStates) —
+// under a distinct tag, so a store can hold both the replayable
+// trajectory and its pre-rendered response bytes for one query.
+func renderedTag(p TrajectoryParams) string {
+	return fmt.Sprintf("|rendered|max_steps=%d|max_states=%d", p.MaxSteps, p.MaxStates)
+}
+
+// renderedPayload is the JSON payload of a KindRendered record. Body
+// holds the exact NDJSON response body verbatim — the store does not
+// interpret it, only replays it, like a verdict's Result. Input is the
+// canonical problem serialization, doubling as the collision guard.
+type renderedPayload struct {
+	FPVersion int    `json:"fp_version"`
+	MaxSteps  int    `json:"max_steps"`
+	MaxStates int    `json:"max_states"`
+	Input     string `json:"input"`
+	Body      string `json:"body"`
+}
+
+// PutRendered persists the pre-rendered NDJSON response body of the
+// classified fixpoint query for the exact problem in under the exact
+// params. body must be the exact bytes the cold stream emitted —
+// committing anything else would break the byte-identity contract that
+// makes the rendered tier indistinguishable from re-rendering. Commit
+// is atomic, like every record write.
+func (s *Store) PutRendered(in *core.Problem, par TrajectoryParams, body []byte) error {
+	payload, err := json.Marshal(renderedPayload{
+		FPVersion: core.FingerprintVersion,
+		MaxSteps:  par.MaxSteps,
+		MaxStates: par.MaxStates,
+		Input:     string(in.CanonicalBytes()),
+		Body:      string(body),
+	})
+	if err != nil {
+		return fmt.Errorf("store: put rendered: %w", err)
+	}
+	return s.putRecord(KindRendered, subKey(core.StableKey(in), renderedTag(par)), payload)
+}
+
+// GetRendered looks up the pre-rendered response body for the exact
+// problem in under the exact params. Corrupt records surface their
+// sentinel; records whose embedded input or params disagree with the
+// query are a miss — in both cases the caller degrades to re-rendering
+// from the trajectory record (or recomputing), never to a wrong body.
+func (s *Store) GetRendered(in *core.Problem, par TrajectoryParams) ([]byte, bool, error) {
+	data, ok, err := s.getRecord(KindRendered, subKey(core.StableKey(in), renderedTag(par)))
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return decodeRenderedPayload(data, in, par)
+}
+
+// decodeRenderedPayload validates a rendered payload against the
+// queried problem and params. Shared by the JSON store and the pack
+// reader (see decodeStepPayload).
+func decodeRenderedPayload(data []byte, in *core.Problem, par TrajectoryParams) ([]byte, bool, error) {
+	var payload renderedPayload
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, false, fmt.Errorf("store: get rendered: %w", err)
+	}
+	if payload.FPVersion != core.FingerprintVersion ||
+		payload.MaxSteps != par.MaxSteps || payload.MaxStates != par.MaxStates ||
+		payload.Input != string(in.CanonicalBytes()) {
+		return nil, false, nil
+	}
+	return []byte(payload.Body), true, nil
+}

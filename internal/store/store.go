@@ -1,7 +1,8 @@
 // Package store is the content-addressed persistent result store of the
-// reproduction: memoized speedup steps and classified fixpoint
-// trajectories, keyed by the stable fingerprint of their exact input
-// problem (core.StableKey) and written as versioned, checksummed
+// reproduction: memoized speedup steps, classified fixpoint
+// trajectories, rendered oracle verdicts and pre-rendered fixpoint
+// response bodies, keyed by the stable fingerprint of their exact
+// input problem (core.StableKey) and written as versioned, checksummed
 // records with atomic rename-on-commit.
 //
 // Brandt's speedup transformation is a deterministic function of the
@@ -13,8 +14,10 @@
 //
 // On disk a store is a directory:
 //
-//	<root>/objects/<kk>/<64-hex-key>.step   one memoized speedup step
-//	<root>/objects/<kk>/<64-hex-key>.traj   one classified trajectory
+//	<root>/objects/<kk>/<64-hex-key>.step      one memoized speedup step
+//	<root>/objects/<kk>/<64-hex-key>.traj      one classified trajectory
+//	<root>/objects/<kk>/<64-hex-key>.verdict   one rendered oracle verdict
+//	<root>/objects/<kk>/<64-hex-key>.rendered  one rendered fixpoint body
 //
 // where <kk> is the first two hex digits of the key (fan-out), and each
 // file is a framed record: an 8-byte magic, big-endian container

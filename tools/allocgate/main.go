@@ -1,0 +1,140 @@
+// Command allocgate is the CI allocation-regression gate for the warm
+// serving path. It reads `go test -bench -benchmem` output and a
+// thresholds file, and fails when any gated benchmark's allocs/op
+// exceeds its checked-in ceiling — or when a gated benchmark is
+// missing from the output, so renaming or deleting a benchmark cannot
+// silently retire its gate.
+//
+// Usage:
+//
+//	allocgate -bench bench-output.txt -thresholds bench/alloc_thresholds.txt
+//
+// The thresholds file holds one "benchmark-name max-allocs" pair per
+// line; blank lines and #-comments are ignored. Benchmark names are
+// matched with any trailing -GOMAXPROCS suffix stripped, so the same
+// thresholds hold on any runner. When a benchmark appears several
+// times (e.g. -count > 1), every appearance must pass.
+//
+// Exit status is non-zero on any violation; every result is printed so
+// the CI log shows the measured numbers next to their ceilings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	benchPath := flag.String("bench", "", "go test -bench -benchmem output file")
+	thresholdsPath := flag.String("thresholds", "", "thresholds file: one \"benchmark max-allocs\" per line")
+	flag.Parse()
+	if *benchPath == "" || *thresholdsPath == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: allocgate -bench bench-output.txt -thresholds thresholds.txt")
+		os.Exit(2)
+	}
+	bench, err := os.ReadFile(*benchPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(2)
+	}
+	thresholds, err := os.ReadFile(*thresholdsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(2)
+	}
+	if !gate(string(bench), string(thresholds), os.Stdout) {
+		os.Exit(1)
+	}
+}
+
+// cpuSuffix is the trailing -GOMAXPROCS decoration `go test` appends
+// to benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseThresholds reads the thresholds file into (name, ceiling)
+// pairs, preserving file order for the report.
+func parseThresholds(content string) ([]string, map[string]int64, error) {
+	var names []string
+	limits := make(map[string]int64)
+	for i, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, nil, fmt.Errorf("thresholds:%d: want \"benchmark max-allocs\", got %q", i+1, line)
+		}
+		max, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("thresholds:%d: %s: %v", i+1, name, err)
+		}
+		if _, dup := limits[name]; dup {
+			return nil, nil, fmt.Errorf("thresholds:%d: duplicate benchmark %q", i+1, name)
+		}
+		names = append(names, name)
+		limits[name] = max
+	}
+	return names, limits, nil
+}
+
+// parseAllocs extracts every "allocs/op" measurement from benchmark
+// output, keyed by benchmark name with the -GOMAXPROCS suffix
+// stripped. A benchmark may appear multiple times.
+func parseAllocs(content string) map[string][]int64 {
+	out := make(map[string][]int64)
+	for _, line := range strings.Split(content, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 1; i < len(fields); i++ {
+			if fields[i] != "allocs/op" {
+				continue
+			}
+			n, err := strconv.ParseInt(fields[i-1], 10, 64)
+			if err != nil {
+				break
+			}
+			name := cpuSuffix.ReplaceAllString(fields[0], "")
+			out[name] = append(out[name], n)
+			break
+		}
+	}
+	return out
+}
+
+// gate checks every thresholded benchmark against the output and
+// reports pass/fail per line to w; it returns false when any gated
+// benchmark is missing or over its ceiling.
+func gate(bench, thresholds string, w io.Writer) bool {
+	names, limits, err := parseThresholds(thresholds)
+	if err != nil {
+		fmt.Fprintln(w, "allocgate:", err)
+		return false
+	}
+	measured := parseAllocs(bench)
+	ok := true
+	for _, name := range names {
+		runs, found := measured[name]
+		if !found {
+			fmt.Fprintf(w, "MISSING %-60s (<= %d allocs/op): not in bench output\n", name, limits[name])
+			ok = false
+			continue
+		}
+		for _, n := range runs {
+			verdict := "ok"
+			if n > limits[name] {
+				verdict = "FAIL"
+				ok = false
+			}
+			fmt.Fprintf(w, "%-4s %-60s %6d allocs/op (ceiling %d)\n", verdict, name, n, limits[name])
+		}
+	}
+	return ok
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkE17RenderedTier-8         	20000000	        54.88 ns/op	       0 B/op	       0 allocs/op
+BenchmarkE14ServiceThroughput/fixpoint/warm-store-8         	     300	     69306 ns/op	    8328 B/op	      97 allocs/op
+BenchmarkE14ServiceThroughput/fixpoint/cold-store         	     300	   4380632 ns/op	   79848 B/op	    1301 allocs/op
+PASS
+`
+
+func TestGatePasses(t *testing.T) {
+	thresholds := `# comment
+BenchmarkE17RenderedTier 20
+BenchmarkE14ServiceThroughput/fixpoint/warm-store 150
+`
+	var sb strings.Builder
+	if !gate(sampleBench, thresholds, &sb) {
+		t.Fatalf("gate failed on in-threshold output:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "ok") {
+		t.Fatalf("report missing ok lines:\n%s", sb.String())
+	}
+}
+
+func TestGateFailsOverCeiling(t *testing.T) {
+	var sb strings.Builder
+	if gate(sampleBench, "BenchmarkE14ServiceThroughput/fixpoint/warm-store 50\n", &sb) {
+		t.Fatal("gate passed a benchmark over its ceiling")
+	}
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Fatalf("report missing FAIL line:\n%s", sb.String())
+	}
+}
+
+func TestGateFailsMissingBenchmark(t *testing.T) {
+	var sb strings.Builder
+	if gate(sampleBench, "BenchmarkE99DoesNotExist 10\n", &sb) {
+		t.Fatal("gate passed with a gated benchmark missing from output")
+	}
+	if !strings.Contains(sb.String(), "MISSING") {
+		t.Fatalf("report missing MISSING line:\n%s", sb.String())
+	}
+}
+
+func TestGateRejectsMalformedThresholds(t *testing.T) {
+	var sb strings.Builder
+	if gate(sampleBench, "BenchmarkE17RenderedTier\n", &sb) {
+		t.Fatal("gate accepted a thresholds line without a ceiling")
+	}
+	if gate(sampleBench, "BenchmarkE17RenderedTier 20\nBenchmarkE17RenderedTier 30\n", &sb) {
+		t.Fatal("gate accepted duplicate threshold entries")
+	}
+}
+
+func TestParseAllocsStripsCPUSuffix(t *testing.T) {
+	got := parseAllocs(sampleBench)
+	if runs := got["BenchmarkE17RenderedTier"]; len(runs) != 1 || runs[0] != 0 {
+		t.Fatalf("BenchmarkE17RenderedTier = %v, want [0]", runs)
+	}
+	if runs := got["BenchmarkE14ServiceThroughput/fixpoint/cold-store"]; len(runs) != 1 || runs[0] != 1301 {
+		t.Fatalf("cold-store = %v, want [1301]", runs)
+	}
+}
