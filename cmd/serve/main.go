@@ -7,6 +7,7 @@
 //
 //	serve [-addr :8089] [-store dir] [-preload pack] [-workers n]
 //	      [-max-inflight n] [-grace 15s] [-request-timeout 0]
+//	      [-peers list -advertise self] [-peer-timeout 0]
 //	      [-pprof addr] [-config file] [-v]
 //
 // Endpoints (full request/response schemas in the README, "The
@@ -18,6 +19,21 @@
 //	GET  /v1/catalog   the paper's problem catalog
 //	GET  /v1/stats     instrument snapshot, JSON
 //	GET  /metrics      the same instruments, Prometheus text format
+//
+// With -peers (a static comma-separated member list) and -advertise
+// (this node's own entry in it) the daemon joins a cluster: record
+// ownership is derived locally from a consistent-hash ring over the
+// list, lookups that miss every local tier ask the key's owner over
+// GET /v1/peer/record before computing cold, and the same endpoint
+// (plus GET /v1/peer/ring for membership conformance) is served to
+// peers. Fetched records are checksum-re-verified on receipt, each
+// fetch is bounded by -peer-timeout, and repeated failures open a
+// short per-peer breaker — a dead, slow, or corrupt peer only ever
+// degrades a lookup to local computation (visible in
+// re_peer_lookups_total), never fails a query. Both flags reload on
+// SIGHUP, which is how a fleet binding kernel-assigned ports
+// bootstraps: start every node solo on :0, collect the bound
+// addresses, SIGHUP the full list in.
 //
 // Identical queries arriving concurrently share one computation
 // (singleflight on the stable problem key); finished results are
@@ -91,6 +107,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent engine computations admitted (0 = GOMAXPROCS)")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request wall-clock budget (0 = unbounded)")
+	peers := flag.String("peers", "", "comma-separated cluster member list, this node included (empty = solo)")
+	advertise := flag.String("advertise", "", "this node's own entry in -peers (required with -peers)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-peer record fetch budget (0 = the cluster default)")
 	pprofAddr := flag.String("pprof", "", "net/http/pprof listen address on a separate listener (empty = disabled)")
 	configPath := flag.String("config", "", "flags file overriding the flags above, reloaded on SIGHUP")
 	verbose := flag.Bool("v", false, "request logging on stderr")
@@ -105,6 +124,9 @@ func main() {
 		Workers:        *workers,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
+		Peers:          *peers,
+		Advertise:      *advertise,
+		PeerTimeout:    *peerTimeout,
 		Pprof:          *pprofAddr,
 		Verbose:        *verbose,
 	}
@@ -131,6 +153,17 @@ type settings struct {
 	// RequestTimeout is the per-request wall-clock budget (0 =
 	// unbounded).
 	RequestTimeout time.Duration
+	// Peers is the comma-separated static cluster member list, this
+	// node's own address included (empty = solo). Reloadable, which is
+	// how a fleet whose members bind kernel-assigned ports bootstraps:
+	// start solo, then SIGHUP the full list in.
+	Peers string
+	// Advertise is this node's own entry in Peers; required when Peers
+	// is set, and it must appear in the list.
+	Advertise string
+	// PeerTimeout is the per-peer record fetch budget (0 = the cluster
+	// default).
+	PeerTimeout time.Duration
 	// Pprof is the profiling listener address (empty = disabled). The
 	// pprof endpoints live on their own listener, never on the query
 	// address.
@@ -143,9 +176,10 @@ type settings struct {
 // command-line flag values) and returns the merged settings. The
 // format is one "key value" pair per line; blank lines and #-comments
 // are ignored. Keys mirror the reloadable flags: store, preload,
-// workers, max-inflight, request-timeout, pprof, v (or verbose). A key absent from the
-// file keeps its flag value, so deleting a line and SIGHUPing reverts
-// that setting. Unknown keys and unparsable values fail the whole
+// workers, max-inflight, request-timeout, peers, advertise,
+// peer-timeout, pprof, v (or verbose). A key absent from the file
+// keeps its flag value, so deleting a line and SIGHUPing reverts that
+// setting. Unknown keys and unparsable values fail the whole
 // load — a reload never applies half a file.
 func loadConfig(path string, base settings) (settings, error) {
 	data, err := os.ReadFile(path)
@@ -172,6 +206,12 @@ func loadConfig(path string, base settings) (settings, error) {
 			s.MaxInflight, perr = strconv.Atoi(val)
 		case "request-timeout":
 			s.RequestTimeout, perr = time.ParseDuration(val)
+		case "peers":
+			s.Peers = val
+		case "advertise":
+			s.Advertise = val
+		case "peer-timeout":
+			s.PeerTimeout, perr = time.ParseDuration(val)
 		case "pprof":
 			s.Pprof = val
 		case "v", "verbose":
@@ -279,12 +319,21 @@ func buildGeneration(s settings, m *service.Metrics, logw io.Writer) (*generatio
 			pack = pr
 		}
 	}
+	var peerCfg *service.PeerConfig
+	if s.Peers != "" {
+		peerCfg = &service.PeerConfig{
+			Self:    s.Advertise,
+			Members: splitMembers(s.Peers),
+			Timeout: s.PeerTimeout,
+		}
+	}
 	engine, err := service.New(service.Config{
 		StoreDir:    s.Store,
 		Workers:     s.Workers,
 		MaxInflight: s.MaxInflight,
 		Metrics:     m,
 		Pack:        pack,
+		Peers:       peerCfg,
 	})
 	if err != nil {
 		if pack != nil {
@@ -395,7 +444,7 @@ func run(addr, configPath string, base settings, grace time.Duration) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (store: %s%s)\n", ln.Addr(), storeLabel(s.Store), preloadLabel(s.Preload))
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (store: %s%s%s)\n", ln.Addr(), storeLabel(s.Store), preloadLabel(s.Preload), clusterLabel(s))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -430,7 +479,7 @@ func run(addr, configPath string, base settings, grace time.Duration) error {
 			s = next
 			old.retire()
 			prof.apply(s.Pprof, os.Stderr)
-			fmt.Fprintf(os.Stderr, "serve: reloaded (store: %s%s)\n", storeLabel(s.Store), preloadLabel(s.Preload))
+			fmt.Fprintf(os.Stderr, "serve: reloaded (store: %s%s%s)\n", storeLabel(s.Store), preloadLabel(s.Preload), clusterLabel(s))
 		case <-ctx.Done():
 			fmt.Fprintf(os.Stderr, "serve: shutting down (grace %v)\n", grace)
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
@@ -467,4 +516,28 @@ func preloadLabel(path string) string {
 		return ""
 	}
 	return ", preload: " + path
+}
+
+// splitMembers parses the comma-separated -peers list, trimming
+// whitespace and dropping empty entries (a trailing comma is not a
+// member). Validation — duplicates, advertise membership — happens in
+// service.New, so a bad list fails the generation build and a SIGHUP
+// reload keeps the previous generation serving.
+func splitMembers(peers string) []string {
+	var members []string
+	for _, m := range strings.Split(peers, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			members = append(members, m)
+		}
+	}
+	return members
+}
+
+// clusterLabel names the cluster for the startup log line; empty for
+// a solo daemon.
+func clusterLabel(s settings) string {
+	if s.Peers == "" {
+		return ""
+	}
+	return fmt.Sprintf(", cluster: %d member(s) as %s", len(splitMembers(s.Peers)), s.Advertise)
 }

@@ -37,11 +37,12 @@ func TestLoadConfig(t *testing.T) {
 		return path
 	}
 
-	got, err := loadConfig(write("# full override\n\nstore /data\npreload /data/warm.repack\nworkers 8\nmax-inflight 4\nrequest-timeout 2m\npprof localhost:6060\nv true\n"), base)
+	got, err := loadConfig(write("# full override\n\nstore /data\npreload /data/warm.repack\nworkers 8\nmax-inflight 4\nrequest-timeout 2m\npeers a:1,b:1\nadvertise a:1\npeer-timeout 250ms\npprof localhost:6060\nv true\n"), base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := settings{Store: "/data", Preload: "/data/warm.repack", Workers: 8, MaxInflight: 4, RequestTimeout: 2 * time.Minute, Pprof: "localhost:6060", Verbose: true}
+	want := settings{Store: "/data", Preload: "/data/warm.repack", Workers: 8, MaxInflight: 4, RequestTimeout: 2 * time.Minute,
+		Peers: "a:1,b:1", Advertise: "a:1", PeerTimeout: 250 * time.Millisecond, Pprof: "localhost:6060", Verbose: true}
 	if got != want {
 		t.Fatalf("full file: got %+v, want %+v", got, want)
 	}
@@ -61,6 +62,7 @@ func TestLoadConfig(t *testing.T) {
 		"unknown key":   "nope 1\n",
 		"bad int":       "workers abc\n",
 		"bad duration":  "request-timeout fast\n",
+		"bad peer time": "peer-timeout soon\n",
 		"bad bool":      "v maybe\n",
 		"unknown+valid": "store /data\nnope 1\n",
 	} {
@@ -71,6 +73,29 @@ func TestLoadConfig(t *testing.T) {
 	if _, err := loadConfig(filepath.Join(t.TempDir(), "absent"), base); err == nil {
 		t.Error("missing file: loadConfig did not fail")
 	}
+}
+
+// TestBuildGenerationRejectsBadPeerConfig: a cluster misconfiguration
+// fails the generation build (so startup fails loudly and a SIGHUP
+// reload keeps the previous generation), while a valid list builds.
+func TestBuildGenerationRejectsBadPeerConfig(t *testing.T) {
+	var logw bytes.Buffer
+	for name, s := range map[string]settings{
+		"no advertise":       {Peers: "a:1,b:1"},
+		"advertise not in":   {Peers: "a:1,b:1", Advertise: "c:1"},
+		"duplicate member":   {Peers: "a:1,a:1", Advertise: "a:1"},
+		"only empty entries": {Peers: " , ", Advertise: "a:1"},
+	} {
+		if gen, err := buildGeneration(s, nil, &logw); err == nil {
+			gen.engine.Close()
+			t.Errorf("%s: buildGeneration accepted %+v", name, s)
+		}
+	}
+	gen, err := buildGeneration(settings{Peers: "a:1, b:1,", Advertise: "b:1"}, nil, &logw)
+	if err != nil {
+		t.Fatalf("valid peer config rejected: %v", err)
+	}
+	gen.engine.Close()
 }
 
 // probeClosed reports whether the engine refuses new computations.

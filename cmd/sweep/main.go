@@ -8,7 +8,7 @@
 //	sweep [-store dir] [-workers n] [-core-workers n]
 //	      [-max-steps n] [-max-states n]
 //	      [-families list] [-delta lo:hi] [-k lo:hi] [-catalog]
-//	      [-format tsv|json] [-out file] [-v]
+//	      [-shard i/n] [-format tsv|json] [-out file] [-v]
 //	sweep -store dir -pack out.repack
 //
 // Tasks shard across a worker pool (internal/par). With -store the
@@ -25,6 +25,16 @@
 // for the same query (backfilling it on checkpoint hits from older
 // stores), so a daemon serving the store — or a pack built from it —
 // answers from the rendered tier without marshaling anything.
+//
+// -shard i/n restricts the sweep to the slice of the grid that shard i
+// owns on a consistent-hash ring over n synthetic members
+// (internal/cluster): the n shards partition the grid exactly, with no
+// coordination, so n worker processes — on one machine or many —
+// sweeping into one shared store (or stores later merged or served as
+// a cluster) together cover the grid once. A shard killed mid-run is
+// resumed by rerunning it (or its slice from any surviving node):
+// ownership is deterministic and checkpoints are content-addressed, so
+// the final records are identical to a single-node sweep's.
 //
 // The report is written only after every task has finished, in grid
 // order, so cold, warm, and interrupted-then-resumed runs emit
@@ -60,6 +70,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fixpoint"
 	"repro/internal/par"
@@ -136,6 +147,8 @@ type config struct {
 	format      string
 	outPath     string
 	packPath    string
+	shardIndex  int
+	shardTotal  int // 0 = unsharded
 	verbose     bool
 }
 
@@ -154,12 +167,19 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.format, "format", "tsv", "report format: tsv or json")
 	fs.StringVar(&cfg.outPath, "out", "-", "report destination ('-' = stdout)")
 	fs.StringVar(&cfg.packPath, "pack", "", "pack the store's records into this warm-cache artifact instead of sweeping")
+	shard := fs.String("shard", "", "sweep only the ring-owned slice i/n of the grid (e.g. 1/3; all shards together cover it exactly)")
 	fs.BoolVar(&cfg.verbose, "v", false, "progress and cache-hit info on stderr")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	if fs.NArg() != 0 {
 		return cfg, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *shard != "" {
+		var err error
+		if cfg.shardIndex, cfg.shardTotal, err = parseShard(*shard); err != nil {
+			return cfg, fmt.Errorf("-shard: %v", err)
+		}
 	}
 	if cfg.packPath != "" {
 		if cfg.storeDir == "" {
@@ -219,6 +239,45 @@ func parseFlags(args []string) (config, error) {
 		return cfg, fmt.Errorf("-families selected nothing")
 	}
 	return cfg, nil
+}
+
+// parseShard reads a strict "i/n" shard selector with 0 <= i < n.
+func parseShard(s string) (index, total int, err error) {
+	iStr, nStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("want i/n, got %q", s)
+	}
+	if index, err = strconv.Atoi(iStr); err != nil {
+		return 0, 0, fmt.Errorf("want i/n, got %q", s)
+	}
+	if total, err = strconv.Atoi(nStr); err != nil {
+		return 0, 0, fmt.Errorf("want i/n, got %q", s)
+	}
+	if total < 1 || index < 0 || index >= total {
+		return 0, 0, fmt.Errorf("bad shard %d/%d (want 0 <= i < n)", index, total)
+	}
+	return index, total, nil
+}
+
+// shardTasks filters the grid down to the tasks the shard owns on the
+// consistent-hash ring over cluster.ShardMembers(n). Ownership is a
+// pure function of each task's stable problem fingerprint and n, so
+// the n shards partition the grid exactly — every task owned by
+// precisely one shard, in any process, with no coordination — and
+// resharding to n+1 moves only the tasks the new shard takes over.
+func shardTasks(tasks []problems.GridPoint, index, total int) ([]problems.GridPoint, error) {
+	ring, err := cluster.NewRing(cluster.ShardMembers(total), cluster.DefaultVNodes)
+	if err != nil {
+		return nil, err
+	}
+	self := cluster.ShardMember(index)
+	owned := make([]problems.GridPoint, 0, len(tasks)/total+1)
+	for _, t := range tasks {
+		if ring.Owner(core.StableKey(t.Problem)) == self {
+			owned = append(owned, t)
+		}
+	}
+	return owned, nil
 }
 
 // parseRange reads an inclusive "lo:hi" range, strictly: the whole
@@ -300,6 +359,18 @@ func run(cfg config, out, errw io.Writer) error {
 	if len(tasks) == 0 {
 		return fmt.Errorf("empty grid")
 	}
+	if cfg.shardTotal > 0 {
+		owned, err := shardTasks(tasks, cfg.shardIndex, cfg.shardTotal)
+		if err != nil {
+			return err
+		}
+		if cfg.verbose {
+			fmt.Fprintf(errw, "sweep: shard %d/%d owns %d of %d task(s)\n", cfg.shardIndex, cfg.shardTotal, len(owned), len(tasks))
+		}
+		// A shard that owns nothing still emits a valid (empty) report:
+		// an empty slice of a non-empty grid is normal, not an error.
+		tasks = owned
+	}
 
 	memo, st, err := service.OpenStepMemo(cfg.storeDir, cfg.maxStates)
 	if err != nil {
@@ -372,9 +443,12 @@ func run(cfg config, out, errw io.Writer) error {
 	return writeReport(out, cfg.format, rows)
 }
 
-// writeReport renders the rows, sorted by name, as TSV or JSON.
+// writeReport renders the rows, sorted by name, as TSV or JSON. An
+// empty row set renders as an empty table ("[]" in JSON, header-only
+// in TSV) — what a shard that owns no tasks emits.
 func writeReport(out io.Writer, format string, rows []row) error {
-	sorted := append([]row(nil), rows...)
+	sorted := make([]row, 0, len(rows))
+	sorted = append(sorted, rows...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
 	if format == "json" {
 		enc := json.NewEncoder(out)

@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -132,6 +136,137 @@ func TestResumeAfterKill(t *testing.T) {
 	}
 	if !bytes.Equal(again, uninterrupted) {
 		t.Fatal("second resume differs")
+	}
+}
+
+// TestShardPartitionCoversGrid: the n shard slices are pairwise
+// disjoint, their union is the full grid, and sweeping all shards into
+// one shared store warms it completely — a final unsharded sweep over
+// that store is all checkpoint hits and byte-identical to a
+// single-process cold sweep.
+func TestShardPartitionCoversGrid(t *testing.T) {
+	const n = 3
+	reference := runSweep(t, testArgs())
+
+	// Partition check at the task level.
+	cfg, err := parseFlags(testArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := buildTasks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i := 0; i < n; i++ {
+		owned, err := shardTasks(all, i, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range owned {
+			seen[task.Name]++
+		}
+	}
+	if len(seen) != len(all) {
+		t.Fatalf("shards cover %d of %d tasks", len(seen), len(all))
+	}
+	for name, count := range seen {
+		if count != 1 {
+			t.Fatalf("task %s owned by %d shards", name, count)
+		}
+	}
+
+	// Sweep every shard into one shared store, then the full grid.
+	dir := t.TempDir()
+	for i := 0; i < n; i++ {
+		runSweep(t, testArgs("-store", dir, "-shard", fmt.Sprintf("%d/%d", i, n)))
+	}
+	cfgFull, err := parseFlags(testArgs("-store", dir, "-v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if err := run(cfgFull, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), reference) {
+		t.Fatal("sharded-then-merged report differs from single-process report")
+	}
+	if hits := bytes.Count(errw.Bytes(), []byte("checkpoint hit")); hits != len(all) {
+		t.Fatalf("final sweep had %d checkpoint hits, want %d (shards did not cover the grid)\n%s", hits, len(all), errw.String())
+	}
+}
+
+// TestShardReportIsOwnedSubset: a shard's own report rows are exactly
+// its owned tasks, rendered byte-compatibly with the full report.
+func TestShardReportIsOwnedSubset(t *testing.T) {
+	full := runSweep(t, testArgs("-format", "json"))
+	var fullRows []row
+	if err := json.Unmarshal(full, &fullRows); err != nil {
+		t.Fatal(err)
+	}
+	var union []row
+	for i := 0; i < 3; i++ {
+		part := runSweep(t, testArgs("-format", "json", "-shard", fmt.Sprintf("%d/3", i)))
+		var rows []row
+		if err := json.Unmarshal(part, &rows); err != nil {
+			t.Fatalf("shard %d: %v (report %q)", i, err, part)
+		}
+		union = append(union, rows...)
+	}
+	if len(union) != len(fullRows) {
+		t.Fatalf("shard reports hold %d rows, full report %d", len(union), len(fullRows))
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i].Name < union[j].Name })
+	for i := range union {
+		if union[i] != fullRows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, union[i], fullRows[i])
+		}
+	}
+}
+
+// TestShardEmptyReport: a shard owning no tasks emits a valid empty
+// report, not an error — "[]" in JSON, header-only TSV.
+func TestShardEmptyReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := writeReport(&out, "json", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("empty JSON report = %q, want []", got)
+	}
+	out.Reset()
+	if err := writeReport(&out, "tsv", nil); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 1 {
+		t.Fatalf("empty TSV report has %d lines, want header only", lines)
+	}
+}
+
+// TestShardFlagValidation: malformed selectors and the -pack conflict
+// are rejected.
+func TestShardFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-shard", "3"},
+		{"-shard", "a/b"},
+		{"-shard", "3/3"},
+		{"-shard", "-1/3"},
+		{"-shard", "0/0"},
+		{"-shard", "1/"},
+		{"-pack", "out.repack", "-store", "dir", "-shard", "0/2"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted bad shard input", args)
+		}
+	}
+	cfg, err := parseFlags([]string{"-shard", "1/3", "-catalog"})
+	if err != nil {
+		t.Fatalf("-shard with -catalog rejected: %v", err)
+	}
+	if cfg.shardIndex != 1 || cfg.shardTotal != 3 {
+		t.Fatalf("shard config = %d/%d", cfg.shardIndex, cfg.shardTotal)
 	}
 }
 

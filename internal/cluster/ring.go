@@ -1,0 +1,140 @@
+// Package cluster turns a fleet of independent store-backed processes
+// into one consistent warm cache, with no coordination service and no
+// consensus: a consistent-hash ring over core.StableKey decides which
+// member owns each record, a minimal HTTP peer protocol ships whole
+// framed store records between members, and every transported byte is
+// re-verified on receipt (frame checksum plus the payload's embedded
+// canonical-input guard), so a dead, slow, or byzantine peer can only
+// ever degrade a lookup to a cache miss — never fail a query or serve
+// a wrong result.
+//
+// The ring is a pure function of a static member list: every process
+// given the same list derives the same ownership for every key, in any
+// join order, which is all the "membership protocol" the system needs.
+// cmd/sweep uses the same ring (over synthetic shard-i members) to
+// partition a grid across worker processes, and cmd/serve uses it to
+// ask a key's owner before computing cold. Determinism does the job
+// consensus would otherwise do: since any two members that compute the
+// same key commit byte-identical records, stale or concurrent
+// computation is harmless, and losing a member only loses warmth.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// DefaultVNodes is the virtual-node count per member used when a
+// caller does not choose one. 64 points per member keeps the expected
+// ownership imbalance across a handful of members within a few
+// percent, at a few kilobytes of ring per member.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over stable record fingerprints:
+// each member contributes vnodes points on a 64-bit circle, and a key
+// is owned by the member of the first point at or clockwise after the
+// key's position. A Ring is immutable after NewRing and safe for
+// concurrent use.
+//
+// Ownership is a pure function of the (deduplicated, order-free)
+// member list and the vnode count — every process with the same list
+// computes the same owner for every key. Removing a member moves only
+// the keys that member owned (its points vanish; every other key's
+// first clockwise point is unchanged), the classic consistent-hashing
+// rebalance bound.
+type Ring struct {
+	members []string
+	vnodes  int
+	points  []ringPoint // sorted by (hash, member)
+}
+
+// ringPoint is one virtual node: a position on the circle and the
+// member it maps to.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds the ring for the given member list. Members are
+// deduplicated — but duplicates are rejected rather than merged, since
+// a duplicated entry in a -peers list is always a configuration
+// mistake. vnodes <= 0 selects DefaultVNodes. The member list order is
+// irrelevant: permutations yield identical rings.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: empty member list")
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member name")
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m)
+		}
+	}
+	r := &Ring{
+		members: sorted,
+		vnodes:  vnodes,
+		points:  make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for _, m := range sorted {
+		for i := 0; i < vnodes; i++ {
+			h := sha256.Sum256(fmt.Appendf(nil, "re-cluster-vnode|%s|%d", m, i))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(h[:8]), member: m})
+		}
+	}
+	// The (hash, member) tiebreak keeps even the astronomically
+	// unlikely hash collision deterministic across processes.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Members returns the ring's member list, sorted. The slice is shared;
+// callers must not modify it.
+func (r *Ring) Members() []string { return r.members }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the member that owns key: the member of the first ring
+// point at or clockwise after the key's 64-bit position, wrapping past
+// the top of the circle to the first point.
+func (r *Ring) Owner(key core.StableFingerprint) string {
+	h := binary.BigEndian.Uint64(key[:8])
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if idx == len(r.points) {
+		idx = 0
+	}
+	return r.points[idx].member
+}
+
+// ShardMember names the i-th synthetic member of a sharded sweep
+// (cmd/sweep -shard i/n). The name deliberately does not embed n:
+// growing a fleet from n to n+1 shards adds one member to the ring
+// instead of renaming all of them, so only the keys the new shard
+// takes over move — the same rebalance bound real peers get.
+func ShardMember(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// ShardMembers returns the full synthetic member list of an n-way
+// sharded sweep: ShardMember(0) through ShardMember(n-1).
+func ShardMembers(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = ShardMember(i)
+	}
+	return members
+}

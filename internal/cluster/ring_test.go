@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testKeys derives a deterministic spread of fingerprints.
+func testKeys(n int) []core.StableFingerprint {
+	keys := make([]core.StableFingerprint, n)
+	for i := range keys {
+		keys[i] = sha256.Sum256([]byte{byte(i), byte(i >> 8), 0xab})
+	}
+	return keys
+}
+
+// TestRingOwnershipIsJoinOrderFree: every permutation of the member
+// list yields the identical owner for every key — the property that
+// lets each node derive ownership locally with no membership protocol.
+func TestRingOwnershipIsJoinOrderFree(t *testing.T) {
+	members := []string{"10.0.0.1:8089", "10.0.0.2:8089", "10.0.0.3:8089", "10.0.0.4:8089", "10.0.0.5:8089"}
+	ref, err := NewRing(members, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(200)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		perm := append([]string(nil), members...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		r, err := NewRing(perm, DefaultVNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: Owner(%s) = %s, want %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyRemovedKeys: dropping one member reassigns
+// exactly the keys that member owned — every other key keeps its owner
+// (the consistent-hashing rebalance bound).
+func TestRingRemovalMovesOnlyRemovedKeys(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	full, err := NewRing(members, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(500)
+	for drop := range members {
+		remaining := append(append([]string(nil), members[:drop]...), members[drop+1:]...)
+		reduced, err := NewRing(remaining, DefaultVNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			before, after := full.Owner(k), reduced.Owner(k)
+			if before == members[drop] {
+				moved++
+				if after == members[drop] {
+					t.Fatalf("removed member %s still owns %s", members[drop], k)
+				}
+				continue
+			}
+			if after != before {
+				t.Fatalf("dropping %s moved key %s from %s to %s", members[drop], k, before, after)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("member %s owned no test keys; test proves nothing", members[drop])
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVNodes, no member of a small fleet owns
+// a wildly disproportionate key share. A loose bound — the point is to
+// catch a broken hash, not to certify variance.
+func TestRingBalance(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	r, err := NewRing(members, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("member %s owns %.0f%% of keys: %v", m, share*100, counts)
+		}
+	}
+}
+
+// TestNewRingRejectsBadMembers: empty lists, empty names, and
+// duplicates are configuration mistakes, not mergeable input.
+func TestNewRingRejectsBadMembers(t *testing.T) {
+	for _, members := range [][]string{
+		nil,
+		{},
+		{"a:1", ""},
+		{"a:1", "b:1", "a:1"},
+	} {
+		if _, err := NewRing(members, DefaultVNodes); err == nil {
+			t.Errorf("NewRing(%v) accepted", members)
+		}
+	}
+	r, err := NewRing([]string{"b:1", "a:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	if got := r.Members(); len(got) != 2 || got[0] != "a:1" || got[1] != "b:1" {
+		t.Fatalf("Members() = %v", got)
+	}
+}
+
+// TestShardMembersGrowOnly: shard member names do not embed the shard
+// count, so growing a fleet from n to n+1 extends the member list
+// instead of renaming it — keys only move to the new shard.
+func TestShardMembersGrowOnly(t *testing.T) {
+	three := ShardMembers(3)
+	four := ShardMembers(4)
+	for i, m := range three {
+		if four[i] != m {
+			t.Fatalf("ShardMembers(4)[%d] = %s, want %s", i, four[i], m)
+		}
+	}
+	r3, err := NewRing(three, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(four, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(300) {
+		if before, after := r3.Owner(k), r4.Owner(k); after != before && after != ShardMember(3) {
+			t.Fatalf("growing 3→4 shards moved %s from %s to %s", k, before, after)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package clustertest is the process-level cluster harness: it builds
+// the real cmd/serve and cmd/sweep binaries once per test run, boots
+// fleets of serve daemons joined into a consistent-hash ring, runs
+// sharded sweeps against shared stores, and kills any of them
+// mid-flight — the layer where the repository's byte-identity and
+// crash-recovery contracts are exercised end to end through real
+// processes, real sockets, and real signals rather than in-process
+// test servers.
+//
+// Cluster bootstrap mirrors what an operator does: every node starts
+// solo on a kernel-assigned port (-addr 127.0.0.1:0) with an empty
+// config file, the harness collects the bound addresses from the
+// startup log lines, writes the full member list into each node's
+// config, and SIGHUPs the fleet — the reload path cmd/serve documents
+// for exactly this purpose.
+//
+// Every process's output is captured for log-watching assertions and,
+// when the CLUSTERTEST_LOG_DIR environment variable names a
+// directory, mirrored to one file per process so CI can attach the
+// fleet's logs to a failing run.
+package clustertest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// LogDirEnv names the environment variable that, when set to a
+// directory, receives one mirrored log file per harness-managed
+// process (CI uploads it as a failure artifact).
+const LogDirEnv = "CLUSTERTEST_LOG_DIR"
+
+// DefaultWait bounds every harness wait: process startup, log-line
+// appearance, graceful stops. Generous because CI machines stall;
+// tests that outlive it have genuinely hung.
+const DefaultWait = 60 * time.Second
+
+// Binaries holds the compiled real binaries the harness drives.
+type Binaries struct {
+	// Serve is the path of the compiled cmd/serve binary.
+	Serve string
+	// Sweep is the path of the compiled cmd/sweep binary.
+	Sweep string
+}
+
+// Build compiles cmd/serve and cmd/sweep into dir and returns their
+// paths. Binaries are built by import path, so the caller's working
+// directory only needs to be anywhere inside the module.
+func Build(dir string) (*Binaries, error) {
+	b := &Binaries{
+		Serve: filepath.Join(dir, "serve"),
+		Sweep: filepath.Join(dir, "sweep"),
+	}
+	for pkg, out := range map[string]string{
+		"repro/cmd/serve": b.Serve,
+		"repro/cmd/sweep": b.Sweep,
+	} {
+		cmd := exec.Command("go", "build", "-o", out, pkg)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("clustertest: go build %s: %v\n%s", pkg, err, msg)
+		}
+	}
+	return b, nil
+}
+
+// logWatcher tees a process's output into an in-memory buffer for
+// waitFor assertions and, when LogDirEnv is set, into a per-process
+// log file for CI artifacts.
+type logWatcher struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	file *os.File // nil when LogDirEnv is unset
+}
+
+// newLogWatcher opens the optional artifact file for a process name.
+// Artifact failures are swallowed: losing a CI log must never fail the
+// test it was recording.
+func newLogWatcher(name string) *logWatcher {
+	w := &logWatcher{}
+	if dir := os.Getenv(LogDirEnv); dir != "" {
+		safe := strings.NewReplacer("/", "_", " ", "_").Replace(name)
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			if f, err := os.Create(filepath.Join(dir, safe+".log")); err == nil {
+				w.file = f
+			}
+		}
+	}
+	return w
+}
+
+// Write appends to the buffer and the artifact file.
+func (w *logWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if w.file != nil {
+		_, _ = w.file.Write(p)
+	}
+	return len(p), nil
+}
+
+// text snapshots the captured output.
+func (w *logWatcher) text() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// waitFor polls until substr appears in the captured output.
+func (w *logWatcher) waitFor(substr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if strings.Contains(w.text(), substr) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("clustertest: %q never appeared in log:\n%s", substr, w.text())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// close releases the artifact file.
+func (w *logWatcher) close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.file != nil {
+		_ = w.file.Close()
+		w.file = nil
+	}
+}
+
+// Proc is one harness-managed child process with captured output.
+type Proc struct {
+	// Name labels the process in log artifacts.
+	Name string
+
+	cmd    *exec.Cmd
+	stdout bytes.Buffer
+	log    *logWatcher
+	waitCh chan error
+
+	mu      sync.Mutex
+	waitErr error
+	waited  bool
+}
+
+// startProc launches bin with args, teeing stderr into a watcher and
+// collecting stdout separately (sweep reports go to stdout).
+func startProc(name, bin string, args ...string) (*Proc, error) {
+	p := &Proc{Name: name, log: newLogWatcher(name)}
+	p.cmd = exec.Command(bin, args...)
+	p.cmd.Stdout = &p.stdout
+	p.cmd.Stderr = p.log
+	if err := p.cmd.Start(); err != nil {
+		p.log.close()
+		return nil, fmt.Errorf("clustertest: start %s: %w", name, err)
+	}
+	p.waitCh = make(chan error, 1)
+	go func() { p.waitCh <- p.cmd.Wait() }()
+	return p, nil
+}
+
+// Wait blocks until the process exits and returns its exit error.
+// Safe to call more than once.
+func (p *Proc) Wait() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.waited {
+		p.waitErr = <-p.waitCh
+		p.waited = true
+		p.log.close()
+	}
+	return p.waitErr
+}
+
+// Kill delivers SIGKILL and reaps the process — the chaos primitive:
+// no grace, no cleanup, exactly what a crashed worker looks like.
+func (p *Proc) Kill() {
+	_ = p.cmd.Process.Signal(syscall.SIGKILL)
+	_ = p.Wait()
+}
+
+// Signal forwards a signal to the live process.
+func (p *Proc) Signal(sig os.Signal) error {
+	return p.cmd.Process.Signal(sig)
+}
+
+// Stdout snapshots what the process wrote to stdout so far; after Wait
+// it is the complete output.
+func (p *Proc) Stdout() []byte { return p.stdout.Bytes() }
+
+// Log snapshots the process's captured stderr.
+func (p *Proc) Log() string { return p.log.text() }
+
+// WaitLog blocks until substr appears on the process's stderr.
+func (p *Proc) WaitLog(substr string) error {
+	return p.log.waitFor(substr, DefaultWait)
+}
+
+// Node is one live cmd/serve process: a Proc plus its bound address,
+// store directory, and reloadable config file.
+type Node struct {
+	*Proc
+	// Addr is the node's bound listen address (host:port) — also its
+	// advertised member name in the cluster.
+	Addr string
+	// StoreDir is the node's persistent store directory.
+	StoreDir string
+	// ConfigPath is the node's flags file, rewritten and SIGHUPed to
+	// reconfigure the live daemon.
+	ConfigPath string
+}
+
+// listeningRE extracts the bound address from the serve startup line.
+var listeningRE = regexp.MustCompile(`listening on ([^\s]+)`)
+
+// StartNode boots one cmd/serve process on a kernel-assigned loopback
+// port with a store under dir, waits for it to come up, and returns it
+// with the bound address resolved. extra appends raw serve flags.
+func (b *Binaries) StartNode(name, dir string, extra ...string) (*Node, error) {
+	storeDir := filepath.Join(dir, "store")
+	if err := os.MkdirAll(storeDir, 0o755); err != nil {
+		return nil, err
+	}
+	cfg := filepath.Join(dir, "serve.conf")
+	if err := os.WriteFile(cfg, []byte("# solo until the fleet addresses are known\n"), 0o644); err != nil {
+		return nil, err
+	}
+	args := append([]string{"-addr", "127.0.0.1:0", "-store", storeDir, "-config", cfg}, extra...)
+	p, err := startProc(name, b.Serve, args...)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Proc: p, StoreDir: storeDir, ConfigPath: cfg}
+	if err := p.WaitLog("listening on "); err != nil {
+		n.Kill()
+		return nil, err
+	}
+	m := listeningRE.FindStringSubmatch(p.Log())
+	if m == nil {
+		n.Kill()
+		return nil, fmt.Errorf("clustertest: %s: cannot parse listen address from log:\n%s", name, p.Log())
+	}
+	n.Addr = m[1]
+	return n, nil
+}
+
+// URL is the node's HTTP base URL.
+func (n *Node) URL() string { return "http://" + n.Addr }
+
+// Reconfigure rewrites the node's config file to the given keys (one
+// "key value" line each) and SIGHUPs the daemon, waiting for the
+// reload to land.
+func (n *Node) Reconfigure(lines ...string) error {
+	body := strings.Join(lines, "\n") + "\n"
+	if err := os.WriteFile(n.ConfigPath, []byte(body), 0o644); err != nil {
+		return err
+	}
+	if err := n.Signal(syscall.SIGHUP); err != nil {
+		return err
+	}
+	return n.WaitLog("reloaded")
+}
+
+// Cluster is a fleet of serve nodes joined into one ring.
+type Cluster struct {
+	// Nodes holds the fleet, index-aligned with the member list.
+	Nodes []*Node
+}
+
+// StartCluster boots n store-backed serve nodes under dir and joins
+// them into one ring via the documented bootstrap: start solo on :0,
+// collect the bound addresses, write the full member list into every
+// node's config, SIGHUP. name prefixes the per-process log artifacts.
+func (b *Binaries) StartCluster(name, dir string, n int) (*Cluster, error) {
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		node, err := b.StartNode(fmt.Sprintf("%s-node%d", name, i), filepath.Join(dir, fmt.Sprintf("node%d", i)))
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	members := strings.Join(c.Members(), ",")
+	for _, node := range c.Nodes {
+		err := node.Reconfigure(
+			"peers "+members,
+			"advertise "+node.Addr,
+			"peer-timeout 2s",
+		)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Members lists the fleet's advertised addresses in node order.
+func (c *Cluster) Members() []string {
+	members := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		members[i] = n.Addr
+	}
+	return members
+}
+
+// Stop SIGKILLs every node. Harness teardown only — chaos tests kill
+// specific nodes themselves, mid-flight.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Kill()
+	}
+}
+
+// RunSweep runs the sweep binary to completion and returns its report
+// (stdout). The stderr log is returned too for checkpoint-hit
+// assertions; a non-zero exit is an error carrying that log.
+func (b *Binaries) RunSweep(name string, args ...string) (report, log []byte, err error) {
+	p, err := startProc(name, b.Sweep, args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	werr := p.Wait()
+	if werr != nil {
+		return nil, nil, fmt.Errorf("clustertest: sweep %s: %v\n%s", name, werr, p.Log())
+	}
+	return p.Stdout(), []byte(p.Log()), nil
+}
+
+// StartSweep launches a sweep process without waiting — the chaos
+// tests' handle for killing a sharded worker mid-run.
+func (b *Binaries) StartSweep(name string, args ...string) (*Proc, error) {
+	return startProc(name, b.Sweep, args...)
+}

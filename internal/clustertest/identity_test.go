@@ -1,0 +1,217 @@
+package clustertest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+// postFixpoint issues the suite's standard cheap fixpoint query (the
+// same explicit budgets on every node, so cache identities agree) and
+// returns the NDJSON body. Goroutine-safe: errors are returned, not
+// fataled.
+func postFixpoint(url string, p *core.Problem) ([]byte, error) {
+	req := fmt.Sprintf(`{"problem":%q,"max_steps":2,"max_states":8000}`, string(p.CanonicalBytes()))
+	resp, err := http.Post(url+"/v1/fixpoint", "application/json", strings.NewReader(req))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fixpoint: status %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// fetchMetrics returns a node's Prometheus text exposition.
+func fetchMetrics(t *testing.T, n *Node) string {
+	t.Helper()
+	resp, err := http.Get(n.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// peerMetric renders the re_peer_lookups_total series label set the
+// obs registry emits for one (peer, outcome) pair.
+func peerMetric(peer, outcome string) string {
+	return fmt.Sprintf(`re_peer_lookups_total{peer=%q,outcome=%q}`, peer, outcome)
+}
+
+// ownedProblems returns cheap grid problems owned by member, in grid
+// order. Ports are dynamic, so ownership shifts run to run; the grid
+// is large enough that every member of a small ring owns several.
+func ownedProblems(t *testing.T, ring *cluster.Ring, member string, want int) []*core.Problem {
+	t.Helper()
+	points, err := problems.Grid(problems.Families(), 2, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owned []*core.Problem
+	for _, pt := range points {
+		if ring.Owner(core.StableKey(pt.Problem)) == member {
+			owned = append(owned, pt.Problem)
+		}
+	}
+	if len(owned) < want {
+		t.Fatalf("member %s owns only %d of %d grid problems, want %d", member, len(owned), len(points), want)
+	}
+	return owned
+}
+
+// TestClusterPeerByteIdentity is the multi-node end-to-end identity
+// test: two real serve processes bootstrap into one ring, publish
+// conforming membership, serve each other's warm records
+// byte-identically to a solo cold node, survive eight concurrent
+// clients, and — once one node is SIGKILLed — degrade to local
+// computation with the failure visible in re_peer_lookups_total.
+func TestClusterPeerByteIdentity(t *testing.T) {
+	b := testBinaries(t)
+	c, err := b.StartCluster("identity", t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	// Ring conformance: every node reports itself as self and the same
+	// sorted member list and vnode count as the rest of the fleet.
+	infos := make([]cluster.RingInfo, len(c.Nodes))
+	for i, n := range c.Nodes {
+		resp, err := http.Get(n.URL() + "/v1/peer/ring")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&infos[i])
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if infos[i].Self != n.Addr {
+			t.Fatalf("node %d advertises self %q, want %q", i, infos[i].Self, n.Addr)
+		}
+	}
+	if !slices.Equal(infos[0].Members, infos[1].Members) || infos[0].VNodes != infos[1].VNodes {
+		t.Fatalf("ring views disagree: %+v vs %+v", infos[0], infos[1])
+	}
+	want := c.Members()
+	slices.Sort(want)
+	if !slices.Equal(infos[0].Members, want) {
+		t.Fatalf("ring members %v, want %v", infos[0].Members, want)
+	}
+
+	ring, err := cluster.NewRing(infos[0].Members, infos[0].VNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node0Probs := ownedProblems(t, ring, c.Nodes[0].Addr, 2)
+	node1Probs := ownedProblems(t, ring, c.Nodes[1].Addr, 1)
+	probs := []*core.Problem{node0Probs[0], node1Probs[0]}
+
+	// A solo node (no -peers) supplies the cold reference bodies.
+	solo, err := b.StartNode("identity-solo", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(solo.Kill)
+	refs := make([][]byte, len(probs))
+	for i, p := range probs {
+		if refs[i], err = postFixpoint(solo.URL(), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm each owner cold, then query the other node: the peer-served
+	// body must be byte-identical to the solo cold body.
+	for i, p := range probs {
+		owner, other := c.Nodes[i], c.Nodes[1-i]
+		got, err := postFixpoint(owner.URL(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refs[i]) {
+			t.Fatalf("owner cold body for problem %d differs from solo reference", i)
+		}
+		got, err = postFixpoint(other.URL(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refs[i]) {
+			t.Fatalf("peer-served body for problem %d differs from solo reference", i)
+		}
+	}
+	for i := range c.Nodes {
+		if m := fetchMetrics(t, c.Nodes[i]); !strings.Contains(m, peerMetric(c.Nodes[1-i].Addr, "hit")) {
+			t.Fatalf("node %d metrics lack a peer hit against %s:\n%s", i, c.Nodes[1-i].Addr, m)
+		}
+	}
+
+	// Eight concurrent clients across both nodes all see the same
+	// bytes, whether a request lands on the owner or rides the peer
+	// tier (warm by now, but re-served end to end per request).
+	var wg sync.WaitGroup
+	errs := make(chan error, 8*2*len(probs))
+	for client := 0; client < 8; client++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for round := 0; round < 2; round++ {
+				node := c.Nodes[(client+round)%2]
+				for i, p := range probs {
+					body, err := postFixpoint(node.URL(), p)
+					if err != nil {
+						errs <- err
+						continue
+					}
+					if !bytes.Equal(body, refs[i]) {
+						errs <- fmt.Errorf("client %d: body for problem %d differs", client, i)
+					}
+				}
+			}
+		}(client)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Kill node 0 and query node 1 for a fresh problem node 0 owns:
+	// the survivor degrades to local computation, still answering
+	// byte-identically, and the dead peer shows up unreachable.
+	c.Nodes[0].Kill()
+	fresh := node0Probs[1]
+	ref, err := postFixpoint(solo.URL(), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := postFixpoint(c.Nodes[1].URL(), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("degraded body differs from solo reference")
+	}
+	if m := fetchMetrics(t, c.Nodes[1]); !strings.Contains(m, peerMetric(c.Nodes[0].Addr, "unreachable")) {
+		t.Fatalf("survivor metrics lack an unreachable outcome against the dead node:\n%s", m)
+	}
+}

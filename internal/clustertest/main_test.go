@@ -1,0 +1,44 @@
+package clustertest
+
+import (
+	"flag"
+	"os"
+	"sync"
+	"testing"
+)
+
+// binDir holds the per-run binary build directory, created in TestMain
+// and removed after the suite.
+var binDir string
+
+var (
+	binOnce sync.Once
+	bins    *Binaries
+	binErr  error
+)
+
+// testBinaries builds the real serve and sweep binaries once per test
+// run; every process-level test starts here.
+func testBinaries(t *testing.T) *Binaries {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and boots real processes")
+	}
+	binOnce.Do(func() { bins, binErr = Build(binDir) })
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	return bins
+}
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "clustertest-bin")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	code := m.Run()
+	_ = os.RemoveAll(dir)
+	os.Exit(code)
+}

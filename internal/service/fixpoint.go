@@ -113,9 +113,11 @@ func (e *Engine) fixpointCold(ctx context.Context, req FixpointRequest, sink fun
 // warm tier can supply it without computing, in order of decreasing
 // warmth: the in-process rendered memo (keyed by raw request text —
 // a hit is one map lookup, no parsing), the rendered records of the
-// pack and the store, then the trajectory tiers (rendering the stored
-// result and memoizing the body). ok is false when only a cold
-// computation can answer — the caller falls back to Fixpoint's
+// pack and the store, the trajectory tiers (rendering the stored
+// result and memoizing the body), and — for a clustered engine — the
+// key's ring owner over the peer protocol, with the fetched record
+// checksum-verified and backfilled locally. ok is false when only a
+// cold computation can answer — the caller falls back to Fixpoint's
 // streaming path. The returned body is shared and must not be
 // modified. Because every tier stores bytes rendered by the same
 // deterministic pipeline, a body served here is byte-identical to the
@@ -145,13 +147,21 @@ func (e *Engine) FixpointBody(req FixpointRequest) ([]byte, bool, error) {
 		e.memoizeRendered(rkey, body)
 		return body, true, nil
 	}
-	res, ok := e.lookupTrajectory(fixpointFlightKey(p, params), p, params)
-	if !ok {
-		return nil, false, nil
+	key := fixpointFlightKey(p, params)
+	if res, ok := e.lookupTrajectory(key, p, params); ok {
+		body = RenderFixpointNDJSON(res)
+		e.memoizeRendered(rkey, body)
+		return body, true, nil
 	}
-	body = RenderFixpointNDJSON(res)
-	e.memoizeRendered(rkey, body)
-	return body, true, nil
+	// Every local tier missed: ask the key's ring owner before
+	// computing cold (no-op for a solo engine). A peer-served body is
+	// backfilled into the local record tiers and memoized like any
+	// other warm hit.
+	if body, ok := e.peerFixpoint(key, p, params); ok {
+		e.memoizeRendered(rkey, body)
+		return body, true, nil
+	}
+	return nil, false, nil
 }
 
 // fixpointFlightKey is the singleflight and memory-cache key of one

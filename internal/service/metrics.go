@@ -37,6 +37,7 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[requestKey]*obs.Counter
 	latency  map[string]*obs.Histogram
+	peers    map[peerKey]*obs.Counter
 
 	flightLeaders   *obs.Counter
 	flightFollowers *obs.Counter
@@ -58,6 +59,21 @@ type requestKey struct {
 	endpoint string
 	status   int
 }
+
+// peerKey identifies one (peer, outcome) peer-lookup counter series.
+type peerKey struct {
+	peer    string
+	outcome string
+}
+
+// peerOutcomes are the per-peer lookup outcomes of the cluster warm
+// tier: "hit" served a verified record, "miss" the owner had none,
+// "corrupt" the owner answered bytes that failed re-validation (frame
+// checksum or embedded-input guard — a byzantine or version-skewed
+// peer), "unreachable" the fetch failed or timed out, "skipped" the
+// peer's failure breaker was open. Every outcome but "hit" degrades
+// the lookup to local computation.
+var peerOutcomes = []string{"hit", "miss", "corrupt", "unreachable", "skipped"}
 
 // warmTiers are the warm-lookup record tiers instrumented by the
 // engine: the preloaded pack artifact, full-step memo entries, whole
@@ -95,6 +111,7 @@ func NewMetrics() *Metrics {
 		reg:      reg,
 		requests: make(map[requestKey]*obs.Counter),
 		latency:  make(map[string]*obs.Histogram),
+		peers:    make(map[peerKey]*obs.Counter),
 		flightLeaders: reg.Counter("re_singleflight_requests_total",
 			"Requests by singleflight role: a leader starts a computation, a follower subscribes to one in flight.",
 			obs.L("role", "leader")),
@@ -148,6 +165,27 @@ func (m *Metrics) warmLookup(tier, outcome string) {
 		return
 	}
 	m.warm[tier][outcome].Inc()
+}
+
+// peerLookup records one cluster peer-tier lookup outcome under
+// re_peer_lookups_total{peer,outcome} (see peerOutcomes). The peer
+// label is bounded by the static member list, so cardinality is the
+// fleet size times five.
+func (m *Metrics) peerLookup(peer, outcome string) {
+	if m == nil {
+		return
+	}
+	key := peerKey{peer, outcome}
+	m.mu.Lock()
+	c, ok := m.peers[key]
+	if !ok {
+		c = m.reg.Counter("re_peer_lookups_total",
+			"Cluster peer-tier lookups by owning peer and outcome (hit, miss, corrupt, unreachable, skipped).",
+			obs.L("peer", peer), obs.L("outcome", outcome))
+		m.peers[key] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
 }
 
 // streamedLine records one NDJSON line put on the wire.
@@ -247,7 +285,8 @@ func (m *Metrics) observeGate(g *par.Gate) {
 // set, so hostile paths cannot inflate metric cardinality.
 func endpointLabel(r *http.Request) string {
 	switch r.URL.Path {
-	case "/v1/speedup", "/v1/fixpoint", "/v1/verify", "/v1/catalog", "/v1/stats", "/metrics":
+	case "/v1/speedup", "/v1/fixpoint", "/v1/verify", "/v1/catalog", "/v1/stats", "/metrics",
+		"/v1/peer/record", "/v1/peer/ring":
 		return r.URL.Path
 	default:
 		return "other"
@@ -303,13 +342,16 @@ func WithRequestTimeout(d time.Duration, next http.Handler) http.Handler {
 }
 
 // Routes returns the daemon's full route set: the four /v1 query
-// endpoints of Handler, plus GET /metrics (Prometheus text format) and
-// GET /v1/stats (the JSON snapshot), all behind the Instrument
-// middleware. This is exactly what cmd/serve mounts, so tests against
-// Routes exercise the production composition.
+// endpoints of Handler, the cluster peer-protocol endpoints when the
+// engine is clustered (GET /v1/peer/record and /v1/peer/ring), plus
+// GET /metrics (Prometheus text format) and GET /v1/stats (the JSON
+// snapshot), all behind the Instrument middleware. This is exactly
+// what cmd/serve mounts, so tests against Routes exercise the
+// production composition.
 func Routes(e *Engine, m *Metrics) http.Handler {
 	mux := http.NewServeMux()
 	registerQueryRoutes(mux, e, m)
+	e.registerPeerRoutes(mux)
 	if m == nil {
 		return mux
 	}
@@ -333,6 +375,9 @@ type Stats struct {
 	Singleflight SingleflightStat `json:"singleflight"`
 	// Store lists warm-tier hit/miss counts by record tier.
 	Store []StoreStat `json:"store"`
+	// Peers lists cluster peer-tier lookup outcomes by owning peer;
+	// empty (omitted) for a solo daemon.
+	Peers []PeerStat `json:"peers,omitempty"`
 	// Gate describes admission-control pressure.
 	Gate GateStat `json:"gate"`
 	// Stream totals the NDJSON lines and bytes streamed.
@@ -379,6 +424,23 @@ type StoreStat struct {
 	// Corrupt counts warm lookups that fell through because the record
 	// failed validation; the query still succeeds by recomputation.
 	Corrupt int64 `json:"corrupt"`
+}
+
+// PeerStat is one peer's cluster-lookup outcome counts (see
+// peerOutcomes for the degrade semantics of each).
+type PeerStat struct {
+	// Peer is the owning member's address.
+	Peer string `json:"peer"`
+	// Hits counts lookups served by a verified peer record.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups the owner had no record for.
+	Misses int64 `json:"misses"`
+	// Corrupt counts peer responses that failed re-validation.
+	Corrupt int64 `json:"corrupt"`
+	// Unreachable counts failed or timed-out fetches.
+	Unreachable int64 `json:"unreachable"`
+	// Skipped counts lookups suppressed by an open failure breaker.
+	Skipped int64 `json:"skipped"`
 }
 
 // GateStat describes admission-control pressure.
@@ -460,6 +522,35 @@ func (m *Metrics) Stats(e *Engine) Stats {
 			Misses:  m.warm[tier]["miss"].Value(),
 			Corrupt: m.warm[tier]["corrupt"].Value(),
 		})
+	}
+	m.mu.Lock()
+	byPeer := make(map[string]*PeerStat)
+	peerNames := []string{}
+	for k, c := range m.peers {
+		ps, ok := byPeer[k.peer]
+		if !ok {
+			ps = &PeerStat{Peer: k.peer}
+			byPeer[k.peer] = ps
+			peerNames = append(peerNames, k.peer)
+		}
+		v := c.Value()
+		switch k.outcome {
+		case "hit":
+			ps.Hits = v
+		case "miss":
+			ps.Misses = v
+		case "corrupt":
+			ps.Corrupt = v
+		case "unreachable":
+			ps.Unreachable = v
+		case "skipped":
+			ps.Skipped = v
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(peerNames)
+	for _, name := range peerNames {
+		s.Peers = append(s.Peers, *byPeer[name])
 	}
 	return s
 }

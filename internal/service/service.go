@@ -87,6 +87,11 @@ type Config struct {
 	// warm-lookup and admission-gate instrumentation. Metrics are
 	// observational only: no response byte ever depends on them.
 	Metrics *Metrics
+	// Peers, when non-nil, joins the engine to a static cluster: record
+	// lookups that miss every local tier ask the key's ring owner
+	// before computing cold, and the peer protocol endpoints are
+	// mounted so other members can do the same (see PeerConfig).
+	Peers *PeerConfig
 }
 
 // Engine answers speedup, fixpoint, verify and catalog queries with
@@ -98,7 +103,8 @@ type Engine struct {
 	pk      *store.PackReader // nil = no preloaded pack tier
 	gate    *par.Gate
 	workers int
-	metrics *Metrics // nil = unobserved
+	metrics *Metrics  // nil = unobserved
+	peers   *peerTier // nil = solo (no cluster)
 
 	runCtx    context.Context
 	stop      context.CancelFunc
@@ -139,6 +145,13 @@ func New(cfg Config) (*Engine, error) {
 		rendered:     make(map[renderedKey][]byte),
 	}
 	e.metrics.observeGate(e.gate)
+	if cfg.Peers != nil {
+		pt, err := newPeerTier(cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+		e.peers = pt
+	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
@@ -191,8 +204,9 @@ func (e *Engine) coreOpts(maxStates int) []core.Option {
 
 // stepMemo returns the budget-scoped speedup-step memo chain: the
 // preloaded pack first (when attached), then the store-backed tier or a
-// per-budget in-memory map, each with outcome accounting when metrics
-// are attached.
+// per-budget in-memory map, then — for a clustered engine — the step's
+// ring owner (peerStepMemo), each with outcome accounting when metrics
+// are attached. Stores always land in the local writable tier.
 func (e *Engine) stepMemo(maxStates int) fixpoint.Memo {
 	var m fixpoint.Memo
 	if e.st != nil {
@@ -209,6 +223,9 @@ func (e *Engine) stepMemo(maxStates int) fixpoint.Memo {
 		if e.metrics != nil {
 			m = observedMemo{inner: mm, metrics: e.metrics}
 		}
+	}
+	if e.peers != nil {
+		m = peerStepMemo{e: e, maxStates: maxStates, inner: m}
 	}
 	if e.pk != nil {
 		m = packStepMemo{e: e, maxStates: maxStates, inner: m}
