@@ -25,6 +25,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/oracle"
 	"repro/internal/problems"
+	"repro/internal/problems/gen"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/solve"
@@ -981,4 +982,69 @@ func BenchmarkE17RenderedTier(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkE18GeneratedSweep: E18 — sweep throughput over a generated
+// problem space (internal/problems/gen), cold vs warm. Each iteration
+// classifies the same 32-point `-gen family=rand` space the way
+// cmd/sweep does — fixpoint.Run per point, trajectory and rendered
+// records committed to a store. The cold case starts from an empty
+// store every iteration (generation + classification + commit); the
+// warm case replays checkpoints from a pre-populated store (generation
+// + store reads only). The gap is what a checkpointed store buys a
+// re-run of a generated-space sweep; generation itself is in both
+// numbers, so their ratio is honest about the generator's cost too.
+func BenchmarkE18GeneratedSweep(b *testing.B) {
+	spec, err := gen.ParseSpec("family=rand,seed=18,count=32,delta=3,labels=3,edge=60,node=60")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const maxSteps = 2
+	const maxStates = 8000
+	params := store.TrajectoryParams{MaxSteps: maxSteps, MaxStates: maxStates}
+	classify := func(b *testing.B, st *store.Store) {
+		points, err := spec.Points()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range points {
+			if _, ok, _ := st.GetTrajectory(pt.Problem, params); ok {
+				continue
+			}
+			res, err := fixpoint.Run(pt.Problem, fixpoint.Options{
+				MaxSteps: maxSteps,
+				Core:     []core.Option{core.WithMaxStates(maxStates)},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.PutTrajectory(pt.Problem, params, res); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.PutRendered(pt.Problem, params, service.RenderFixpointNDJSON(res)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(filepath.Join(b.TempDir(), fmt.Sprintf("e18-cold-%d", i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			classify(b, st)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		st, err := store.Open(filepath.Join(b.TempDir(), "e18-warm"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		classify(b, st) // populate checkpoints
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			classify(b, st)
+		}
+	})
 }

@@ -8,7 +8,7 @@
 //	sweep [-store dir] [-workers n] [-core-workers n]
 //	      [-max-steps n] [-max-states n]
 //	      [-families list] [-delta lo:hi] [-k lo:hi] [-catalog]
-//	      [-shard i/n] [-format tsv|json] [-out file] [-v]
+//	      [-gen spec] [-shard i/n] [-format tsv|json] [-out file] [-v]
 //	sweep -store dir -pack out.repack
 //
 // Tasks shard across a worker pool (internal/par). With -store the
@@ -36,6 +36,19 @@
 // ownership is deterministic and checkpoints are content-addressed, so
 // the final records are identical to a single-node sweep's.
 //
+// -gen replaces the catalog grid with a generated problem space
+// (internal/problems/gen): the spec names a generator family and its
+// parameters — e.g. -gen family=rand,seed=7,count=100,delta=3,labels=3
+// — and the sweep classifies every generated point. Generation is a
+// pure function of the spec, so the same spec reproduces byte-identical
+// problems and a byte-identical report on any machine, and each report
+// row's name embeds the single-point spec that regenerates it. -gen
+// conflicts with -catalog, -families, -delta and -k (the spec IS the
+// task list) and composes with everything else, including -shard: the
+// ring partitions the generated space by stable problem fingerprint
+// exactly as it partitions the grid. The spec grammar is documented at
+// gen.ParseSpec.
+//
 // The report is written only after every task has finished, in grid
 // order, so cold, warm, and interrupted-then-resumed runs emit
 // identical bytes. Timing or cache-hit information never goes into the
@@ -54,6 +67,7 @@
 //	sweep -store ./results                  # full default grid, TSV
 //	sweep -store ./results -format json     # same tasks, JSON report
 //	sweep -catalog                          # the paper's catalog only
+//	sweep -gen family=rand,seed=7,count=100   # a generated problem space
 //	sweep -store ./results -pack warm.repack  # pack the store's records
 package main
 
@@ -75,6 +89,7 @@ import (
 	"repro/internal/fixpoint"
 	"repro/internal/par"
 	"repro/internal/problems"
+	"repro/internal/problems/gen"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -144,6 +159,7 @@ type config struct {
 	kLo         int
 	kHi         int
 	catalog     bool
+	genSpec     *gen.Spec
 	format      string
 	outPath     string
 	packPath    string
@@ -164,6 +180,7 @@ func parseFlags(args []string) (config, error) {
 	delta := fs.String("delta", "2:4", "Δ range lo:hi (inclusive)")
 	k := fs.String("k", "2:3", "k range lo:hi (inclusive; k-coloring and superweak)")
 	fs.BoolVar(&cfg.catalog, "catalog", false, "sweep exactly the paper's problems.Catalog() instead of the grid")
+	genText := fs.String("gen", "", "sweep a generated problem space instead of the grid (spec grammar: gen.ParseSpec)")
 	fs.StringVar(&cfg.format, "format", "tsv", "report format: tsv or json")
 	fs.StringVar(&cfg.outPath, "out", "-", "report destination ('-' = stdout)")
 	fs.StringVar(&cfg.packPath, "pack", "", "pack the store's records into this warm-cache artifact instead of sweeping")
@@ -209,6 +226,28 @@ func parseFlags(args []string) (config, error) {
 		if conflict != nil {
 			return cfg, conflict
 		}
+	}
+	genSet := false
+	fs.Visit(func(f *flag.Flag) { genSet = genSet || f.Name == "gen" })
+	if genSet {
+		if *genText == "" {
+			return cfg, fmt.Errorf("-gen: empty spec (want family=...,seed=...,count=...)")
+		}
+		var conflict error
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "catalog", "families", "delta", "k":
+				conflict = fmt.Errorf("-%s cannot be combined with -gen (the generation spec defines the task list)", f.Name)
+			}
+		})
+		if conflict != nil {
+			return cfg, conflict
+		}
+		spec, err := gen.ParseSpec(*genText)
+		if err != nil {
+			return cfg, fmt.Errorf("-gen: %v", err)
+		}
+		cfg.genSpec = spec
 	}
 	if cfg.format != "tsv" && cfg.format != "json" {
 		return cfg, fmt.Errorf("-format must be tsv or json, got %q", cfg.format)
@@ -304,6 +343,9 @@ func parseRange(s string) (lo, hi int, err error) {
 // report row order. The expansion itself lives in problems.Grid, shared
 // with every other grid consumer.
 func buildTasks(cfg config) ([]problems.GridPoint, error) {
+	if cfg.genSpec != nil {
+		return cfg.genSpec.Points()
+	}
 	if cfg.catalog {
 		return problems.CatalogGrid(), nil
 	}

@@ -445,3 +445,130 @@ func countSweepObjects(t *testing.T, dir string) (steps, trajs, rendered int) {
 	}
 	return count("step"), count("traj"), count("rendered")
 }
+
+// TestGenFlagValidation: malformed generation specs and flag conflicts
+// are rejected with exit-before-work errors.
+func TestGenFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-gen", ""},                                // flag set but empty
+		{"-gen", "family=nope,count=3"},             // unknown family
+		{"-gen", "count=3"},                         // no family
+		{"-gen", "family=rand,count=-1"},            // negative count
+		{"-gen", "family=rand,count=0"},             // empty space
+		{"-gen", "family=rand,count=abc"},           // malformed int
+		{"-gen", "family=rand,count=3,count=4"},     // duplicate key
+		{"-gen", "family=rand,count=3,bogus=1"},     // unknown key
+		{"-gen", "family=rand,count=3,k=3"},         // key from another family
+		{"-gen", "family=rand,count=3,delta=9"},     // out-of-domain delta
+		{"-gen", "family=rand,count=3,,delta=3"},    // empty element
+		{"-gen", "family=grid,count=3,k=1"},         // degenerate grid coloring
+		{"-gen", "family=rand,count=200000"},        // beyond MaxSpecCount
+		{"-gen", "family=rand,count=3", "-catalog"}, // conflicts: fixed task lists
+		{"-gen", "family=rand,count=3", "-families", "sinkless-coloring"},
+		{"-gen", "family=rand,count=3", "-delta", "2:3"}, // grid shaping is meaningless
+		{"-gen", "family=rand,count=3", "-k", "2:3"},
+		{"-pack", "p.repack", "-store", "d", "-gen", "family=rand,count=3"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted bad -gen input", args)
+		}
+	}
+
+	cfg, err := parseFlags([]string{"-gen", "family=rand,seed=5,count=4", "-shard", "1/2", "-format", "json"})
+	if err != nil {
+		t.Fatalf("valid -gen input rejected: %v", err)
+	}
+	if cfg.genSpec == nil || cfg.genSpec.Count != 4 || cfg.genSpec.Seed != 5 {
+		t.Fatalf("gen spec not captured: %+v", cfg.genSpec)
+	}
+	tasks, err := buildTasks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 4 {
+		t.Fatalf("generated space has %d tasks, want 4", len(tasks))
+	}
+}
+
+// genTestArgs is a small generated space for the end-to-end -gen tests.
+func genTestArgs(extra ...string) []string {
+	base := []string{"-gen", "family=rand,seed=11,count=12,delta=3,labels=3,edge=60,node=60",
+		"-max-states", "8000", "-max-steps", "2"}
+	return append(base, extra...)
+}
+
+// TestGenSweepDeterminism: the same spec yields a byte-identical report
+// across repeat runs, worker counts, and cold/warm store states — the
+// byte-identity contract extended to generated problem spaces.
+func TestGenSweepDeterminism(t *testing.T) {
+	want := runSweep(t, genTestArgs("-workers", "1"))
+	for _, w := range []string{"2", "4"} {
+		if got := runSweep(t, genTestArgs("-workers", w)); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%s: generated-space report differs from workers=1", w)
+		}
+	}
+	dir := t.TempDir()
+	cold := runSweep(t, genTestArgs("-store", dir))
+	warm := runSweep(t, genTestArgs("-store", dir))
+	if !bytes.Equal(cold, want) || !bytes.Equal(warm, want) {
+		t.Fatal("store-backed generated-space report differs from storeless report")
+	}
+}
+
+// TestGenShardPartition: -shard partitions the generated space exactly —
+// every generated task owned by precisely one shard, and the shard
+// reports union to the unsharded report.
+func TestGenShardPartition(t *testing.T) {
+	const n = 3
+	cfg, err := parseFlags(genTestArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := buildTasks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i := 0; i < n; i++ {
+		owned, err := shardTasks(all, i, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range owned {
+			seen[task.Name]++
+		}
+	}
+	if len(seen) != len(all) {
+		t.Fatalf("shards cover %d of %d generated tasks", len(seen), len(all))
+	}
+	for name, count := range seen {
+		if count != 1 {
+			t.Fatalf("generated task %s owned by %d shards", name, count)
+		}
+	}
+
+	full := runSweep(t, genTestArgs("-format", "json"))
+	var fullRows []row
+	if err := json.Unmarshal(full, &fullRows); err != nil {
+		t.Fatal(err)
+	}
+	var union []row
+	for i := 0; i < n; i++ {
+		part := runSweep(t, genTestArgs("-format", "json", "-shard", fmt.Sprintf("%d/%d", i, n)))
+		var rows []row
+		if err := json.Unmarshal(part, &rows); err != nil {
+			t.Fatalf("shard %d: %v (report %q)", i, err, part)
+		}
+		union = append(union, rows...)
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i].Name < union[j].Name })
+	if len(union) != len(fullRows) {
+		t.Fatalf("shard reports hold %d rows, full report %d", len(union), len(fullRows))
+	}
+	for i := range union {
+		if union[i] != fullRows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, union[i], fullRows[i])
+		}
+	}
+}

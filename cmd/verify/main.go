@@ -8,6 +8,7 @@
 //	verify -problem <catalog-name> [-rounds t] [-n maxN] [-workers k]
 //	       [-family name] [-seed s] [-relaxed] [-conformance]
 //	       [-store dir] [-list]
+//	verify -gen <spec> [-workers k] [-seed s]
 //
 // In the default mode the command decides whether the named catalog
 // problem is solvable by a single deterministic t-round port-numbering
@@ -21,6 +22,18 @@
 // speedup soundness, fixpoint upper bounds):
 //
 //	verify -problem superweak/k=2,delta=3 -conformance
+//
+// With -gen it runs the randomized metamorphic conformance harness
+// (internal/conformance) over a generated problem space instead of a
+// single catalog problem: the spec (grammar: gen.ParseSpec) is expanded
+// deterministically, every generated problem is driven through the
+// speedup engine, the fixpoint driver, the HTTP service tiers and the
+// brute-force oracle, and the universal invariants are checked. The
+// report is printed as JSON; every failure carries the exact
+// single-point -gen spec that regenerates the offending problem, and
+// those reproductions are echoed to stderr:
+//
+//	verify -gen family=rand,seed=7,count=100,delta=3,labels=3
 //
 // With -store dir rendered verdicts are cached in the persistent
 // result store shared with cmd/serve and cmd/sweep: re-running the
@@ -49,7 +62,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/conformance"
 	"repro/internal/problems"
+	"repro/internal/problems/gen"
 	"repro/internal/service"
 )
 
@@ -61,7 +76,8 @@ func main() {
 	family := flag.String("family", "", "instance family (defaults to regular, or cycles at Δ=2)")
 	seed := flag.Int64("seed", 1, "seed for shuffled/oriented family variants")
 	relaxed := flag.Bool("relaxed", false, "exempt nodes of degree != Δ from the node constraint (tree families)")
-	conformance := flag.Bool("conformance", false, "run the conformance harness instead of a single decision")
+	conformanceFlag := flag.Bool("conformance", false, "run the conformance harness instead of a single decision")
+	genSpec := flag.String("gen", "", "run the metamorphic harness over a generated problem space (spec grammar: gen.ParseSpec)")
 	storeDir := flag.String("store", "", "persistent result store directory for verdict caching")
 	list := flag.Bool("list", false, "list catalog problems and exit")
 	// The default ExitOnError handling exits 2 on bad flags, which would
@@ -80,7 +96,27 @@ func main() {
 		}
 		return
 	}
-	code, err := run(*problem, *rounds, *maxN, *workers, *family, *seed, *relaxed, *conformance, *storeDir)
+	if *genSpec != "" {
+		var conflict error
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "gen", "workers", "seed":
+			default:
+				conflict = fmt.Errorf("-%s cannot be combined with -gen (the harness drives the whole generated space)", f.Name)
+			}
+		})
+		if conflict != nil {
+			fmt.Fprintln(os.Stderr, "verify:", conflict)
+			os.Exit(1)
+		}
+		exitCode, err := runGen(*genSpec, *workers, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		os.Exit(exitCode)
+	}
+	code, err := run(*problem, *rounds, *maxN, *workers, *family, *seed, *relaxed, *conformanceFlag, *storeDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
@@ -92,6 +128,33 @@ func main() {
 // decided UNSOLVABLE verdict or a failed conformance check — as opposed
 // to exit 1, which means the decision itself could not be made.
 const exitNegative = 2
+
+// runGen expands the generation spec and runs the metamorphic harness
+// over the whole space, printing the report as indented JSON. Failures
+// echo their reproducing -gen invocations to stderr and exit 2.
+func runGen(specText string, workers int, seed int64) (int, error) {
+	spec, err := gen.ParseSpec(specText)
+	if err != nil {
+		return 0, fmt.Errorf("-gen: %w", err)
+	}
+	rep, err := conformance.RunSpec(spec, conformance.Options{Workers: workers, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("%s\n", body)
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "verify: %d conformance failure(s) over %d generated problem(s)\n", len(rep.Failures), rep.Problems)
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "verify: reproduce %s [%s] with: verify -gen %s\n", f.Problem, f.Check, f.Repro)
+		}
+		return exitNegative, nil
+	}
+	return 0, nil
+}
 
 // run issues the query through the service engine and prints the
 // verdict indented, returning the exit code.

@@ -1,0 +1,103 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixpoint"
+	"repro/internal/oracle"
+	"repro/internal/problems"
+	"repro/internal/problems/gen"
+)
+
+// TestCatalogIsomorphismInvariance locks the isomorphism invariance of
+// the classification pipeline on the fixed paper catalog: for every
+// catalog entry, 20 seeded random label renamings classify identically
+// (same kind, steps, cycle shape, per-entry statistics), and the
+// oracle's verdict on the entry's small instance family is unchanged
+// by 20 seeded random port renumberings of every instance.
+func TestCatalogIsomorphismInvariance(t *testing.T) {
+	const trials = 20
+	run := func(p *core.Problem) *fixpoint.Result {
+		res, err := fixpoint.Run(p, fixpoint.Options{
+			MaxSteps: 2,
+			Core:     []core.Option{core.WithMaxStates(3000)},
+		})
+		if err != nil {
+			t.Fatalf("fixpoint.Run: %v", err)
+		}
+		return res
+	}
+
+	for _, pt := range problems.CatalogGrid() {
+		pt := pt
+		t.Run(pt.Name, func(t *testing.T) {
+			t.Parallel()
+			base := run(pt.Problem)
+
+			// Label renamings: trajectory shape is a class invariant.
+			for i := 0; i < trials; i++ {
+				renamed, _ := gen.RenameLabels(pt.Problem, int64(i))
+				res := run(renamed)
+				if d := trajectoryShapeDiff(base, res); d != "" {
+					t.Fatalf("renaming seed %d changed the classification: %s", i, d)
+				}
+				if _, ok := core.Isomorphic(base.Trajectory[0], res.Trajectory[0]); !ok {
+					t.Fatalf("renaming seed %d: compressed inputs not isomorphic", i)
+				}
+			}
+
+			// Port renumberings. A verdict on one port-numbered instance
+			// may legitimately move under renumbering (the numbering is
+			// the model's symmetry-breaking resource), so the locked
+			// invariants are the two sound ones: on a family closed
+			// under renumbering (Cycles(4) holds every port numbering of
+			// C_4) the verdict is exactly invariant, and on any family
+			// the union with its permuted image is solvable only if each
+			// half is.
+			decide := func(insts []oracle.Instance) bool {
+				v, err := oracle.Decide(pt.Problem, insts, 0,
+					oracle.WithWorkers(1), oracle.WithMaxSteps(300_000))
+				if err != nil {
+					t.Skipf("oracle budget: %v", err)
+				}
+				return v.Solvable
+			}
+			permute := func(insts []oracle.Instance, seed int64) []oracle.Instance {
+				out := make([]oracle.Instance, len(insts))
+				for j, inst := range insts {
+					out[j] = oracle.Instance{
+						Name: inst.Name,
+						G:    gen.PermutePorts(inst.G, seed+int64(j)),
+						In:   inst.In,
+					}
+				}
+				return out
+			}
+			if pt.Problem.Delta() == 2 {
+				fam, err := oracle.Cycles(4)
+				if err != nil {
+					t.Fatalf("Cycles(4): %v", err)
+				}
+				want := decide(fam)
+				for i := 0; i < trials; i++ {
+					if got := decide(permute(fam, int64(i)*997)); got != want {
+						t.Fatalf("port permutation seed %d moved the verdict on a renumbering-closed family: %v -> %v", i, want, got)
+					}
+				}
+			} else {
+				bases, err := oracle.RegularBases(pt.Problem.Delta(), 8)
+				if err != nil {
+					t.Skipf("no oracle bases at delta=%d: %v", pt.Problem.Delta(), err)
+				}
+				for i := 0; i < trials; i++ {
+					permuted := permute(bases, int64(i)*997)
+					union := append(append([]oracle.Instance{}, bases...), permuted...)
+					if decide(union) && !(decide(bases) && decide(permuted)) {
+						t.Fatalf("port permutation seed %d: union solvable but a half is not", i)
+					}
+				}
+			}
+		})
+	}
+}

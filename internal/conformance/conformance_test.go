@@ -1,0 +1,134 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/problems"
+	"repro/internal/problems/gen"
+)
+
+// prCount returns how many generated problems the PR conformance run
+// covers. CI sets CONFORMANCE_COUNT (500 on PRs per the acceptance
+// bar); the local default keeps `go test ./...` quick.
+func prCount(t *testing.T) int {
+	if s := os.Getenv("CONFORMANCE_COUNT"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("CONFORMANCE_COUNT=%q: want a positive integer", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 16
+	}
+	return 48
+}
+
+// prSeed returns the run seed. PRs pin it (default 1) so the covered
+// problem space is stable; the nightly job sets CONFORMANCE_SEED to a
+// fresh value and echoes it, so any failure names its exact -gen repro.
+func prSeed(t *testing.T) int64 {
+	s := os.Getenv("CONFORMANCE_SEED")
+	if s == "" {
+		return 1
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CONFORMANCE_SEED=%q: want an integer", s)
+	}
+	return n
+}
+
+// TestPRConformance is the randomized metamorphic suite: it spreads
+// the problem budget over every generator family (both Δ branches of
+// the random generator, grid mutants, hypergraph-port mutants) and
+// drives all of them through Run's full-stack invariant checks.
+func TestPRConformance(t *testing.T) {
+	count := prCount(t)
+	seed := prSeed(t)
+	per := (count + 3) / 4
+	specs := []string{
+		fmt.Sprintf("family=rand,seed=%d,count=%d,delta=2,labels=3,edge=60,node=60", seed, per),
+		fmt.Sprintf("family=rand,seed=%d,count=%d,delta=3,labels=3,edge=50,node=50", seed, per),
+		fmt.Sprintf("family=grid,seed=%d,count=%d,k=3,dims=2,wrap=1", seed, per),
+		fmt.Sprintf("family=hyper,seed=%d,count=%d,delta=3,r=1", seed, per),
+	}
+
+	// One combined Run shares the engine, store and pack phase across
+	// all families; repros still point at each point's own spec.
+	var points []problems.GridPoint
+	var repros []string
+	for _, text := range specs {
+		spec, err := gen.ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		pts, err := spec.Points()
+		if err != nil {
+			t.Fatalf("Points(%q): %v", text, err)
+		}
+		for i := range pts {
+			repros = append(repros, spec.Repro(i))
+		}
+		points = append(points, pts...)
+	}
+
+	rep, err := Run(points, func(i int) string { return repros[i] }, Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("%s", rep.String())
+	if !rep.OK() {
+		t.Errorf("conformance failed (seed=%d):\n%s", seed, rep.String())
+	}
+	if rep.Problems != len(points) {
+		t.Errorf("Problems = %d, want %d", rep.Problems, len(points))
+	}
+	if rep.Checks == 0 {
+		t.Error("no checks ran")
+	}
+	if rep.OracleDecided == 0 {
+		t.Error("decode-direction oracle check never reached a verdict; budgets are mis-sized")
+	}
+}
+
+// TestRunSpecRepro locks the failure-reproduction contract: RunSpec
+// failures would carry single-point specs, and those specs regenerate
+// byte-identical problems (exercised here on the success path by
+// comparing Repro-spec points against the batch).
+func TestRunSpecRepro(t *testing.T) {
+	spec, err := gen.ParseSpec("family=rand,seed=7,count=5,delta=2,labels=2,edge=70,node=70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		rspec, err := gen.ParseSpec(spec.Repro(i))
+		if err != nil {
+			t.Fatalf("ParseSpec(Repro(%d)): %v", i, err)
+		}
+		rp, err := rspec.Points()
+		if err != nil {
+			t.Fatalf("Repro(%d).Points: %v", i, err)
+		}
+		if len(rp) != 1 || rp[0].Name != pt.Name || !rp[0].Problem.Equal(pt.Problem) {
+			t.Fatalf("Repro(%d) does not regenerate point %s", i, pt.Name)
+		}
+	}
+	rep, err := RunSpec(spec, Options{Seed: 7, MaxSteps: 2, MaxStates: 2000})
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	if !rep.OK() {
+		t.Errorf("RunSpec failed:\n%s", rep.String())
+	}
+	if rep.Problems != 5 {
+		t.Errorf("Problems = %d, want 5", rep.Problems)
+	}
+}

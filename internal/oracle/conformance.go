@@ -97,6 +97,7 @@ func Conformance(name string, p *core.Problem, fams Families, maxT int, opts ...
 	if maxT < 1 {
 		return nil, fmt.Errorf("oracle: conformance needs maxT >= 1, got %d", maxT)
 	}
+	o := buildOptions(opts)
 	rep := &Report{Problem: name, Delta: p.Delta(), MaxT: maxT, OK: true}
 	add := func(c Check) {
 		rep.Checks = append(rep.Checks, c)
@@ -129,8 +130,17 @@ func Conformance(name string, p *core.Problem, fams Families, maxT int, opts ...
 		return nil, err
 	}
 
-	// Speedup soundness on the oriented family, one pair per t.
-	sp, err := core.Speedup(p)
+	// Speedup soundness on the oriented family, one pair per t. The
+	// derivation runs under the conformance worker count and — when
+	// WithSpeedupStates set one — a state budget, so a randomized
+	// harness can feed arbitrary generated problems without risking an
+	// unbounded enumeration (the budget error surfaces to the caller,
+	// which treats it as "too heavy to cross-check", not a failure).
+	spOpts := []core.Option{core.WithWorkers(o.workers)}
+	if n := o.speedupStates; n > 0 {
+		spOpts = append(spOpts, core.WithMaxStates(n))
+	}
+	sp, err := core.Speedup(p, spOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("oracle: conformance: speedup of %s: %w", name, err)
 	}
@@ -161,7 +171,6 @@ func Conformance(name string, p *core.Problem, fams Families, maxT int, opts ...
 	// promises an s-round algorithm on oriented families. The driver
 	// runs under a tight state budget (WithFixpointStates) so heavy
 	// trajectories degrade to an unasserted BudgetExceeded.
-	o := buildOptions(opts)
 	res, err := fixpoint.Run(p, fixpoint.Options{
 		MaxSteps: maxT,
 		Core:     []core.Option{core.WithMaxStates(o.fixpointStates), core.WithWorkers(o.workers)},

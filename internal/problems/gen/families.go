@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Structured-family caps, chosen like the random caps: large enough to
+// parameterize interesting spaces, small enough that every point is an
+// exact-Speedup-sized problem.
+const (
+	// MaxGridK caps the color count of grid relaxations.
+	MaxGridK = 6
+	// MaxGridDims caps grid dimensionality (Δ = 2·dims ≤ MaxDelta).
+	MaxGridDims = 2
+	// MaxFractionalR caps the weight target of fractional orientations.
+	MaxFractionalR = 5
+)
+
+// GridColoring builds the port-numbered relaxation of proper k-coloring
+// on a dims-dimensional grid (wrap=true: torus). A node of the grid has
+// two ports per axis, so Δ = 2·dims; the relaxation assigns one color
+// per axis — a node configuration is any choice of colors c_1..c_dims
+// with each c_i occurring on both ports of axis i — and the edge
+// constraint demands distinct endpoint colors. On a torus, an axis is a
+// cycle of unknown parity, so the relaxation additionally admits equal
+// endpoint colors (odd cycles make strict properness locally
+// uncheckable); that keeps the torus variant a genuine LCL rather than
+// a statement about global parity. Labels are named c0..c{k-1}.
+func GridColoring(k, dims int, wrap bool) (*core.Problem, error) {
+	if k < 2 || k > MaxGridK {
+		return nil, fmt.Errorf("gen: grid k must be in [2, %d], got %d", MaxGridK, k)
+	}
+	if dims < 1 || dims > MaxGridDims {
+		return nil, fmt.Errorf("gen: grid dims must be in [1, %d], got %d", MaxGridDims, dims)
+	}
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	alpha, err := core.NewAlphabet(names...)
+	if err != nil {
+		return nil, err
+	}
+
+	edge := core.NewConstraint(2)
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			if a != b || wrap {
+				edge.MustAdd(core.NewConfig(core.Label(a), core.Label(b)))
+			}
+		}
+	}
+
+	node := core.NewConstraint(2 * dims)
+	axis := make([]int, dims)
+	for {
+		labels := make([]core.Label, 0, 2*dims)
+		for _, c := range axis {
+			labels = append(labels, core.Label(c), core.Label(c))
+		}
+		node.MustAdd(core.NewConfig(labels...))
+		i := dims - 1
+		for ; i >= 0; i-- {
+			axis[i]++
+			if axis[i] < k {
+				break
+			}
+			axis[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return core.NewProblem(alpha, edge, node)
+}
+
+// FractionalOrientation builds the weight-r fractional orientation
+// problem at degree delta, a parameterized hypergraph-port family: each
+// port carries an integer weight 0..r, a node's Δ weights must sum to
+// at least r (it pushes total weight ≥ r outward), and the two weights
+// on an edge must sum to at most r (an edge absorbs at most r). At r=1
+// this is the relaxation of sinkless orientation — every node emits at
+// least one unit, no edge carries two. Labels are named w0..w{r}.
+func FractionalOrientation(delta, r int) (*core.Problem, error) {
+	if delta < 2 || delta > MaxDelta {
+		return nil, fmt.Errorf("gen: hyper delta must be in [2, %d], got %d", MaxDelta, delta)
+	}
+	if r < 1 || r > MaxFractionalR {
+		return nil, fmt.Errorf("gen: hyper r must be in [1, %d], got %d", MaxFractionalR, r)
+	}
+	names := make([]string, r+1)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	alpha, err := core.NewAlphabet(names...)
+	if err != nil {
+		return nil, err
+	}
+
+	edge := core.NewConstraint(2)
+	for a := 0; a <= r; a++ {
+		for b := a; b <= r; b++ {
+			if a+b <= r {
+				edge.MustAdd(core.NewConfig(core.Label(a), core.Label(b)))
+			}
+		}
+	}
+
+	node := core.NewConstraint(delta)
+	for _, m := range Multisets(r+1, delta) {
+		sum := 0
+		for _, l := range m {
+			sum += int(l)
+		}
+		if sum >= r {
+			node.MustAdd(core.NewConfig(m...))
+		}
+	}
+	return core.NewProblem(alpha, edge, node)
+}

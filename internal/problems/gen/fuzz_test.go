@@ -1,0 +1,57 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzGenDeterminism locks the generator's central contract: a
+// (seed, index, params) tuple is a complete, portable description of
+// one problem. Two independent constructions must be byte-identical,
+// the canonical bytes must re-parse to the same problem, and the
+// speedup transformation applied to the generated problem must be
+// byte-identical across worker counts (the engine-side half of the
+// determinism story the conformance harness relies on).
+func FuzzGenDeterminism(f *testing.F) {
+	f.Add(int64(1), 0, 3, 3, 50, 50)
+	f.Add(int64(7), 12, 2, 4, 30, 80)
+	f.Add(int64(-9), 3, 4, 2, 99, 1)
+	f.Fuzz(func(t *testing.T, seed int64, index, delta, labels, edgePct, nodePct int) {
+		params := Params{Delta: delta, Labels: labels, EdgePct: edgePct, NodePct: nodePct}
+		a, err := Random(seed, index, params)
+		if err != nil {
+			return // out-of-domain params are rejected, not generated
+		}
+		b, err := Random(seed, index, params)
+		if err != nil {
+			t.Fatalf("second construction failed where first succeeded: %v", err)
+		}
+		ab, bb := a.CanonicalBytes(), b.CanonicalBytes()
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("two constructions differ:\n%s\nvs\n%s", ab, bb)
+		}
+		parsed, err := core.ParseCanonical(ab)
+		if err != nil {
+			t.Fatalf("canonical bytes do not re-parse: %v", err)
+		}
+		if core.StableKey(parsed) != core.StableKey(a) {
+			t.Fatal("canonical bytes round-trip changed the stable key")
+		}
+
+		// Worker invariance of the downstream transformation, under a
+		// budget small enough for fuzz throughput: either both worker
+		// counts fail the budget or both produce identical problems.
+		s1, err1 := core.Speedup(a, core.WithWorkers(1), core.WithMaxStates(2000))
+		s3, err3 := core.Speedup(a, core.WithWorkers(3), core.WithMaxStates(2000))
+		if (err1 == nil) != (err3 == nil) {
+			t.Fatalf("worker counts disagree on budget: w1 err=%v, w3 err=%v", err1, err3)
+		}
+		if err1 == nil {
+			if !bytes.Equal(s1.CanonicalBytes(), s3.CanonicalBytes()) {
+				t.Fatal("Speedup output differs between 1 and 3 workers")
+			}
+		}
+	})
+}

@@ -1,0 +1,211 @@
+// Package gen constructs locally checkable problems programmatically:
+// seed-reproducible random LCLs, structured parameterized families
+// (grid/torus port-numbered relaxations, fractional hypergraph-port
+// orientations) and mutation operators that derive related problems
+// from existing ones.
+//
+// Brandt's speedup theorem (the source paper) and its extension to
+// round-based full-information models (Bastide–Fraigniaud,
+// arXiv:2108.01989) state invariants that hold for EVERY locally
+// checkable problem, not just the hand-picked catalog of
+// internal/problems — determinism of the transformation, invariance of
+// the classification under label renaming, agreement with the
+// brute-force oracle in the decode direction of Theorem 1. This
+// package is the workload generator that lets internal/conformance
+// test those universal statements on problem *spaces*, and lets
+// cmd/sweep classify spaces instead of a fixed catalog.
+//
+// Everything here is a pure function of a (seed, parameters) pair:
+// construction never consults global randomness, the clock, or map
+// iteration order. The generator's randomness comes from a
+// splitmix64 stream seeded by the SHA-256 of a domain string that
+// spells out the family, every parameter, and the point index — so a
+// problem is byte-identical across processes, architectures and Go
+// versions, and any instance is reproducible from its name alone (see
+// Spec and its -gen grammar).
+package gen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// genDomainVersion is hashed into every generator stream. Bump it when
+// the construction algorithm changes in a way that alters generated
+// bytes for an existing (seed, params) pair — the analogue of
+// core.FingerprintVersion for the generator: names stay valid, but they
+// name different (new-scheme) problems afterwards.
+const genDomainVersion = 1
+
+// rng is a splitmix64 pseudo-random stream. It is deliberately
+// hand-rolled rather than math/rand so generated problems depend on
+// nothing but this file: the sequence is fixed by the algorithm, not by
+// a library's compatibility promise.
+type rng struct{ state uint64 }
+
+// newRNG derives a stream from a domain string: the first 8 bytes of
+// its SHA-256. Distinct domains give independent streams; equal domains
+// give equal streams, which is the whole reproducibility contract.
+func newRNG(domain string) *rng {
+	sum := sha256.Sum256([]byte(domain))
+	return &rng{state: binary.BigEndian.Uint64(sum[:8])}
+}
+
+// next advances the splitmix64 state and returns the next 64-bit word.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n) via the multiply-shift reduction
+// (deterministic, near-uniform; n must be positive).
+func (r *rng) intn(n int) int {
+	hi, _ := bits.Mul64(r.next(), uint64(n))
+	return int(hi)
+}
+
+// chance reports true with probability pct/100.
+func (r *rng) chance(pct int) bool { return r.intn(100) < pct }
+
+// perm returns a seeded Fisher–Yates permutation of [0, n).
+func (r *rng) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Generation caps. The multiset spaces below grow combinatorially in Δ
+// and the alphabet; the caps keep every generated problem small enough
+// for an exact Speedup attempt under a test-sized state budget while
+// still covering the structurally interesting range.
+const (
+	// MaxDelta caps the node-constraint arity of generated problems.
+	MaxDelta = 5
+	// MaxLabels caps the alphabet size of random problems.
+	MaxLabels = 6
+)
+
+// Params parameterizes one random LCL: the node arity Δ, the alphabet
+// size, and the densities of the two constraints. Density is the
+// percentage of candidate configurations (all multisets of the
+// respective arity over the alphabet, in canonical order) included in
+// the constraint; a constraint that would come out empty gets one
+// seeded candidate forced in, so every generated problem has at least
+// one configuration on each side (emptiness is the fixpoint driver's
+// job to detect after compression, not the generator's to produce).
+type Params struct {
+	// Delta is the node-constraint arity Δ, in [1, MaxDelta].
+	Delta int
+	// Labels is the alphabet size, in [1, MaxLabels].
+	Labels int
+	// EdgePct is the edge-constraint density percentage, in [1, 100].
+	EdgePct int
+	// NodePct is the node-constraint density percentage, in [1, 100].
+	NodePct int
+}
+
+// Validate rejects parameters outside the generator's domain.
+func (p Params) Validate() error {
+	if p.Delta < 1 || p.Delta > MaxDelta {
+		return fmt.Errorf("gen: delta must be in [1, %d], got %d", MaxDelta, p.Delta)
+	}
+	if p.Labels < 1 || p.Labels > MaxLabels {
+		return fmt.Errorf("gen: labels must be in [1, %d], got %d", MaxLabels, p.Labels)
+	}
+	if p.EdgePct < 1 || p.EdgePct > 100 {
+		return fmt.Errorf("gen: edge density must be in [1, 100], got %d", p.EdgePct)
+	}
+	if p.NodePct < 1 || p.NodePct > 100 {
+		return fmt.Errorf("gen: node density must be in [1, 100], got %d", p.NodePct)
+	}
+	return nil
+}
+
+// suffix renders the parameters in the canonical key order used by
+// domain strings, names and the -gen grammar.
+func (p Params) suffix() string {
+	return fmt.Sprintf("delta=%d,labels=%d,edge=%d,node=%d", p.Delta, p.Labels, p.EdgePct, p.NodePct)
+}
+
+// Random constructs the index-th random LCL of the (seed, params)
+// space. The construction is a pure function of its arguments: two
+// calls with equal arguments yield problems with equal
+// core.CanonicalBytes (and therefore equal core.StableKey), in any
+// process. Labels are named x0..x{Labels-1}.
+func Random(seed int64, index int, p Params) (*core.Problem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if index < 0 {
+		return nil, fmt.Errorf("gen: negative index %d", index)
+	}
+	r := newRNG(fmt.Sprintf("repro-gen v%d|rand|seed=%d|%s|i=%d", genDomainVersion, seed, p.suffix(), index))
+
+	names := make([]string, p.Labels)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	alpha, err := core.NewAlphabet(names...)
+	if err != nil {
+		return nil, err
+	}
+
+	edge := pickConstraint(r, 2, p.Labels, p.EdgePct)
+	node := pickConstraint(r, p.Delta, p.Labels, p.NodePct)
+	return core.NewProblem(alpha, edge, node)
+}
+
+// pickConstraint samples a constraint of the given arity: every
+// candidate multiset (enumerated in canonical nondecreasing-label
+// order) joins with probability pct/100; an empty draw is repaired with
+// one seeded candidate.
+func pickConstraint(r *rng, arity, labels, pct int) core.Constraint {
+	candidates := Multisets(labels, arity)
+	c := core.NewConstraint(arity)
+	picked := false
+	for _, m := range candidates {
+		if r.chance(pct) {
+			c.MustAdd(core.NewConfig(m...))
+			picked = true
+		}
+	}
+	if !picked {
+		c.MustAdd(core.NewConfig(candidates[r.intn(len(candidates))]...))
+	}
+	return c
+}
+
+// Multisets enumerates every multiset of the given size over labels
+// 0..labels-1, each as a nondecreasing label slice, in lexicographic
+// order. The order is part of the generator's reproducibility contract:
+// candidate k of a (labels, size) space is the same multiset forever.
+func Multisets(labels, size int) [][]core.Label {
+	var out [][]core.Label
+	cur := make([]core.Label, size)
+	var rec func(pos int, min core.Label)
+	rec = func(pos int, min core.Label) {
+		if pos == size {
+			out = append(out, append([]core.Label(nil), cur...))
+			return
+		}
+		for l := min; int(l) < labels; l++ {
+			cur[pos] = l
+			rec(pos+1, l)
+		}
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,365 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRandomDeterminism(t *testing.T) {
+	p := Params{Delta: 3, Labels: 3, EdgePct: 50, NodePct: 50}
+	a, err := Random(7, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(7, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.StableKey(a) != core.StableKey(b) {
+		t.Fatalf("same (seed, index, params) gave different problems:\n%s\nvs\n%s", a, b)
+	}
+	if string(a.CanonicalBytes()) != string(b.CanonicalBytes()) {
+		t.Fatal("canonical bytes differ for identical construction")
+	}
+}
+
+func TestRandomIndexAndSeedVary(t *testing.T) {
+	p := Params{Delta: 3, Labels: 3, EdgePct: 50, NodePct: 50}
+	base, err := Random(7, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := 0
+	for i := 1; i < 20; i++ {
+		q, err := Random(7, i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if core.StableKey(q) != core.StableKey(base) {
+			varied++
+		}
+	}
+	if varied == 0 {
+		t.Fatal("20 consecutive indices all generated the same problem")
+	}
+	q, err := Random(8, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.StableKey(q) == core.StableKey(base) {
+		t.Log("seed 7 and 8 coincide at index 0 (allowed but suspicious)")
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	bad := []Params{
+		{Delta: 0, Labels: 3, EdgePct: 50, NodePct: 50},
+		{Delta: MaxDelta + 1, Labels: 3, EdgePct: 50, NodePct: 50},
+		{Delta: 3, Labels: 0, EdgePct: 50, NodePct: 50},
+		{Delta: 3, Labels: MaxLabels + 1, EdgePct: 50, NodePct: 50},
+		{Delta: 3, Labels: 3, EdgePct: 0, NodePct: 50},
+		{Delta: 3, Labels: 3, EdgePct: 101, NodePct: 50},
+		{Delta: 3, Labels: 3, EdgePct: 50, NodePct: -1},
+	}
+	for _, p := range bad {
+		if _, err := Random(1, 0, p); err == nil {
+			t.Errorf("Random accepted invalid params %+v", p)
+		}
+	}
+	if _, err := Random(1, -1, Params{Delta: 3, Labels: 3, EdgePct: 50, NodePct: 50}); err == nil {
+		t.Error("Random accepted a negative index")
+	}
+}
+
+func TestRandomConstraintsNonEmpty(t *testing.T) {
+	// Density 1% on tiny spaces forces the empty-draw repair path.
+	for i := 0; i < 50; i++ {
+		p, err := Random(3, i, Params{Delta: 2, Labels: 2, EdgePct: 1, NodePct: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Edge.Size() == 0 || p.Node.Size() == 0 {
+			t.Fatalf("index %d: generated an empty constraint: %s", i, p)
+		}
+	}
+}
+
+func TestMultisets(t *testing.T) {
+	ms := Multisets(3, 2)
+	if len(ms) != 6 { // C(3+2-1, 2)
+		t.Fatalf("Multisets(3,2) = %d multisets, want 6", len(ms))
+	}
+	// Canonical enumeration order is a compatibility contract.
+	want := [][]core.Label{{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}}
+	for i, m := range ms {
+		if len(m) != 2 || m[0] != want[i][0] || m[1] != want[i][1] {
+			t.Fatalf("Multisets(3,2)[%d] = %v, want %v", i, m, want[i])
+		}
+	}
+}
+
+func TestGridColoring(t *testing.T) {
+	p, err := GridColoring(3, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delta() != 4 {
+		t.Fatalf("dims=2 grid delta = %d, want 4", p.Delta())
+	}
+	if p.Alpha.Size() != 3 {
+		t.Fatalf("k=3 grid alphabet size = %d, want 3", p.Alpha.Size())
+	}
+	// No wrap: edge constraint is the 3 unordered distinct pairs.
+	if p.Edge.Size() != 3 {
+		t.Fatalf("grid edge configs = %d, want 3", p.Edge.Size())
+	}
+	if p.Edge.ContainsLabels(0, 0) {
+		t.Fatal("non-wrap grid admits a monochromatic edge")
+	}
+	// Node: one config per (axis1, axis2) color choice, deduped as
+	// multisets: 9 assignments, {a,a,b,b} == {b,b,a,a} → 6 distinct.
+	if p.Node.Size() != 6 {
+		t.Fatalf("grid node configs = %d, want 6", p.Node.Size())
+	}
+	if !p.Node.ContainsLabels(0, 0, 1, 1) || p.Node.ContainsLabels(0, 1, 2, 2) {
+		t.Fatal("grid node constraint has wrong membership")
+	}
+
+	torus, err := GridColoring(3, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torus.Edge.ContainsLabels(0, 0) {
+		t.Fatal("torus grid must admit equal endpoint colors")
+	}
+
+	for _, bad := range [][2]int{{1, 1}, {MaxGridK + 1, 1}, {2, 0}, {2, MaxGridDims + 1}} {
+		if _, err := GridColoring(bad[0], bad[1], false); err == nil {
+			t.Errorf("GridColoring(%d, %d) accepted out-of-domain params", bad[0], bad[1])
+		}
+	}
+}
+
+func TestFractionalOrientation(t *testing.T) {
+	p, err := FractionalOrientation(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delta() != 3 || p.Alpha.Size() != 2 {
+		t.Fatalf("r=1 fractional orientation: delta=%d labels=%d, want 3 and 2", p.Delta(), p.Alpha.Size())
+	}
+	// r=1: edge forbids exactly the double-send {1,1}; node forbids
+	// exactly the all-zero sink.
+	if p.Edge.ContainsLabels(1, 1) || !p.Edge.ContainsLabels(0, 1) || !p.Edge.ContainsLabels(0, 0) {
+		t.Fatal("r=1 edge constraint wrong")
+	}
+	if p.Node.ContainsLabels(0, 0, 0) || !p.Node.ContainsLabels(0, 0, 1) {
+		t.Fatal("r=1 node constraint wrong")
+	}
+
+	q, err := FractionalOrientation(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Alpha.Size() != 3 {
+		t.Fatalf("r=2 alphabet size = %d, want 3", q.Alpha.Size())
+	}
+	if q.Edge.ContainsLabels(1, 2) || !q.Edge.ContainsLabels(1, 1) || !q.Edge.ContainsLabels(0, 2) {
+		t.Fatal("r=2 edge constraint wrong")
+	}
+
+	for _, bad := range [][2]int{{1, 1}, {MaxDelta + 1, 1}, {3, 0}, {3, MaxFractionalR + 1}} {
+		if _, err := FractionalOrientation(bad[0], bad[1]); err == nil {
+			t.Errorf("FractionalOrientation(%d, %d) accepted out-of-domain params", bad[0], bad[1])
+		}
+	}
+}
+
+func TestRenameLabelsIsomorphic(t *testing.T) {
+	p, err := Random(11, 2, Params{Delta: 3, Labels: 4, EdgePct: 60, NodePct: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, lm := RenameLabels(p, 5)
+	if _, ok := core.Isomorphic(p, q); !ok {
+		t.Fatalf("RenameLabels result is not isomorphic to the input:\n%s\nvs\n%s", p, q)
+	}
+	// The returned map must itself be the witnessing isomorphism.
+	remap := make(map[core.Label]core.Label, len(lm))
+	for from, to := range lm {
+		remap[from] = to
+	}
+	edge, err := p.Edge.Remap(remap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !edge.Equal(q.Edge) {
+		t.Fatal("returned LabelMap does not map the edge constraint onto the renamed one")
+	}
+	// Determinism: same seed, same renaming.
+	q2, _ := RenameLabels(p, 5)
+	if !q.Equal(q2) {
+		t.Fatal("RenameLabels is not deterministic for a fixed seed")
+	}
+}
+
+func TestRelaxNodeRestrictEdge(t *testing.T) {
+	p, err := Random(13, 0, Params{Delta: 3, Labels: 3, EdgePct: 50, NodePct: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := RelaxNode(p, 9)
+	if ok {
+		if q.Node.Size() != p.Node.Size()+1 {
+			t.Fatalf("RelaxNode: node size %d → %d, want +1", p.Node.Size(), q.Node.Size())
+		}
+		for _, cfg := range p.Node.Configs() {
+			if !q.Node.Contains(cfg) {
+				t.Fatal("RelaxNode dropped an existing node config")
+			}
+		}
+	}
+	r, ok := RestrictEdge(p, 9)
+	if ok {
+		if r.Edge.Size() != p.Edge.Size()-1 {
+			t.Fatalf("RestrictEdge: edge size %d → %d, want -1", p.Edge.Size(), r.Edge.Size())
+		}
+		for _, cfg := range r.Edge.Configs() {
+			if !p.Edge.Contains(cfg) {
+				t.Fatal("RestrictEdge invented an edge config")
+			}
+		}
+	}
+
+	// No-op edges of the domain: complete node constraint, singleton edge.
+	full := core.MustParse("node:\nA A\nA B\nB B\nedge:\nA A\nA B\nB B\n")
+	if _, ok := RelaxNode(full, 1); ok {
+		t.Fatal("RelaxNode claimed to relax a complete node constraint")
+	}
+	single := core.MustParse("node:\nA A\nedge:\nA A\n")
+	if _, ok := RestrictEdge(single, 1); ok {
+		t.Fatal("RestrictEdge claimed to restrict a singleton edge constraint")
+	}
+}
+
+func TestMutantDeterministicAndValid(t *testing.T) {
+	base, err := GridColoring(3, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Mutant(base, 21, 5)
+	b := Mutant(base, 21, 5)
+	if !a.Equal(b) {
+		t.Fatal("Mutant is not deterministic for fixed (seed, steps)")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Mutant produced an invalid problem: %v", err)
+	}
+	c := Mutant(base, 22, 5)
+	if a.Equal(c) && core.StableKey(a) == core.StableKey(c) {
+		t.Log("seeds 21 and 22 coincide after 5 steps (allowed but suspicious)")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"family=",
+		"seed=3",                          // missing family
+		"family=nope",                     // unknown family
+		"family=rand,seed=x",              // malformed int
+		"family=rand,count=0",             // zero count
+		"family=rand,count=-3",            // negative count
+		"family=rand,start=-1",            // negative start
+		"family=rand,count=100001",        // over MaxSpecCount
+		"family=rand,delta=9",             // out-of-domain param
+		"family=rand,k=3",                 // grid key on rand
+		"family=grid,labels=3",            // rand key on grid
+		"family=grid,wrap=2",              // non-boolean wrap
+		"family=hyper,r=99",               // out-of-domain r
+		"family=rand,seed=1,seed=2",       // duplicate key
+		"family=rand,,count=1",            // empty element
+		"family=rand,bogus=1",             // unknown key
+		"family=grid,start=2040,count=10", // over maxMutantIndex
+		"family=rand delta=3",             // not key=value
+	}
+	for _, s := range bad {
+		if spec, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted: %+v", s, spec)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		"family=rand,seed=7,count=5,delta=3,labels=4,edge=30,node=70",
+		"family=grid,seed=2,count=3,k=4,dims=2,wrap=0",
+		"family=hyper,seed=1,start=2,count=4,delta=3,r=2",
+		"family=rand", // all defaults
+	} {
+		s, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		s2, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(String()=%q): %v", s.String(), err)
+		}
+		if *s != *s2 {
+			t.Fatalf("spec round-trip mismatch: %+v vs %+v", s, s2)
+		}
+	}
+}
+
+func TestSpecReproducesPoints(t *testing.T) {
+	s, err := ParseSpec("family=rand,seed=9,start=3,count=6,delta=3,labels=3,edge=40,node=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("Points() = %d points, want 6", len(pts))
+	}
+	for i, pt := range pts {
+		// The Repro spec is a complete, parseable reproduction handle
+		// for exactly this problem.
+		rs, err := ParseSpec(s.Repro(i))
+		if err != nil {
+			t.Fatalf("Repro(%d) does not parse: %v", i, err)
+		}
+		rp, err := rs.Point(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if core.StableKey(rp) != core.StableKey(pt.Problem) {
+			t.Fatalf("Repro(%d) generates a different problem", i)
+		}
+		if !strings.HasPrefix(pt.Name, "gen/rand/seed=9,") {
+			t.Fatalf("point name %q missing gen/rand prefix", pt.Name)
+		}
+		if pt.Family != "gen/rand" {
+			t.Fatalf("point family %q, want gen/rand", pt.Family)
+		}
+	}
+	// Mutation families: point 0 is the base problem, later points mutants.
+	g, err := ParseSpec("family=grid,seed=1,count=2,k=3,dims=1,wrap=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpts, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := GridColoring(3, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.StableKey(gpts[0].Problem) != core.StableKey(base) {
+		t.Fatal("grid point 0 is not the base problem")
+	}
+}

@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// maxMutationCandidates bounds the candidate multiset space RelaxNode
+// will enumerate. Mutation targets are catalog-sized or generator-sized
+// problems; a problem whose node-config space exceeds this is not worth
+// mutating (its Speedup is out of test-budget reach anyway).
+const maxMutationCandidates = 4096
+
+// RenameLabels returns a problem isomorphic to p under a seeded random
+// relabeling: label numbering is permuted and every label gets a fresh
+// name r0..r{n-1}. The returned core.LabelMap sends each label of p to
+// its image in the result. Metamorphic use: classification, fixpoint
+// trajectory shape and core.StableKey-class membership must not change
+// under this operation for any locally checkable problem.
+func RenameLabels(p *core.Problem, seed int64) (*core.Problem, core.LabelMap) {
+	n := p.Alpha.Size()
+	r := newRNG(fmt.Sprintf("repro-gen v%d|rename|seed=%d|%s", genDomainVersion, seed, p.String()))
+	perm := r.perm(n)
+
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d", i)
+	}
+	alpha, err := core.NewAlphabet(names...)
+	if err != nil {
+		panic(fmt.Sprintf("gen: rename alphabet: %v", err))
+	}
+	remap := make(map[core.Label]core.Label, n)
+	lm := make(core.LabelMap, n)
+	for old := 0; old < n; old++ {
+		remap[core.Label(old)] = core.Label(perm[old])
+		lm[core.Label(old)] = core.Label(perm[old])
+	}
+	edge, err := p.Edge.Remap(remap)
+	if err != nil {
+		panic(fmt.Sprintf("gen: rename edge: %v", err))
+	}
+	node, err := p.Node.Remap(remap)
+	if err != nil {
+		panic(fmt.Sprintf("gen: rename node: %v", err))
+	}
+	q, err := core.NewProblem(alpha, edge, node)
+	if err != nil {
+		panic(fmt.Sprintf("gen: rename problem: %v", err))
+	}
+	return q, lm
+}
+
+// RelaxNode returns p with one seeded absent node configuration added —
+// a strictly easier problem — or (p, false) when the node constraint is
+// already complete or the candidate space exceeds the mutation cap.
+func RelaxNode(p *core.Problem, seed int64) (*core.Problem, bool) {
+	n := p.Alpha.Size()
+	if binomial(n+p.Delta()-1, p.Delta()) > maxMutationCandidates {
+		return p, false
+	}
+	var absent [][]core.Label
+	for _, m := range Multisets(n, p.Delta()) {
+		if !p.Node.Contains(core.NewConfig(m...)) {
+			absent = append(absent, m)
+		}
+	}
+	if len(absent) == 0 {
+		return p, false
+	}
+	r := newRNG(fmt.Sprintf("repro-gen v%d|relax-node|seed=%d|%s", genDomainVersion, seed, p.String()))
+	pick := absent[r.intn(len(absent))]
+
+	node := p.Node.Clone()
+	node.MustAdd(core.NewConfig(pick...))
+	q, err := core.NewProblem(p.Alpha, p.Edge, node)
+	if err != nil {
+		panic(fmt.Sprintf("gen: relax node: %v", err))
+	}
+	return q, true
+}
+
+// RestrictEdge returns p with one seeded edge configuration removed — a
+// strictly harder problem — or (p, false) when the edge constraint has
+// a single configuration left (removing it would make the problem
+// trivially empty rather than related).
+func RestrictEdge(p *core.Problem, seed int64) (*core.Problem, bool) {
+	configs := p.Edge.Configs()
+	if len(configs) <= 1 {
+		return p, false
+	}
+	r := newRNG(fmt.Sprintf("repro-gen v%d|restrict-edge|seed=%d|%s", genDomainVersion, seed, p.String()))
+	drop := r.intn(len(configs))
+
+	edge := core.NewConstraint(2)
+	for i, cfg := range configs {
+		if i != drop {
+			edge.MustAdd(cfg)
+		}
+	}
+	q, err := core.NewProblem(p.Alpha, edge, p.Node)
+	if err != nil {
+		panic(fmt.Sprintf("gen: restrict edge: %v", err))
+	}
+	return q, true
+}
+
+// Mutant applies steps seeded mutation operators (relax-node,
+// restrict-edge, rename) to p, producing a problem *related* to p —
+// the derivation chain is reproducible from (p, seed, steps). Steps
+// that would be no-ops (complete constraint, singleton edge set) are
+// skipped, so the result may equal a renaming of p in degenerate cases.
+func Mutant(p *core.Problem, seed int64, steps int) *core.Problem {
+	r := newRNG(fmt.Sprintf("repro-gen v%d|mutant|seed=%d|steps=%d|%s", genDomainVersion, seed, steps, p.String()))
+	q := p
+	for s := 0; s < steps; s++ {
+		opSeed := int64(r.next() >> 1)
+		switch r.intn(3) {
+		case 0:
+			q, _ = RelaxNode(q, opSeed)
+		case 1:
+			q, _ = RestrictEdge(q, opSeed)
+		default:
+			q, _ = RenameLabels(q, opSeed)
+		}
+	}
+	return q
+}
+
+// PermutePorts returns a clone of g with a seeded random port
+// permutation applied at every node (via graph.PermutePorts) — an
+// isomorphic port-numbered instance. Metamorphic use: an oracle
+// verdict over a family of instances must not change when every
+// instance's ports are renumbered this way.
+func PermutePorts(g *graph.Graph, seed int64) *graph.Graph {
+	r := newRNG(fmt.Sprintf("repro-gen v%d|ports|seed=%d|n=%d,m=%d", genDomainVersion, seed, g.N(), g.M()))
+	out := g.Clone()
+	for v := 0; v < out.N(); v++ {
+		if d := out.Degree(v); d > 1 {
+			if err := out.PermutePorts(v, r.perm(d)); err != nil {
+				panic(fmt.Sprintf("gen: permute ports: %v", err))
+			}
+		}
+	}
+	return out
+}
+
+// binomial returns C(n, k), saturating at maxMutationCandidates+1 to
+// stay overflow-safe for the cap comparison above.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 1; i <= k; i++ {
+		res = res * (n - k + i) / i
+		if res > maxMutationCandidates {
+			return maxMutationCandidates + 1
+		}
+	}
+	return res
+}

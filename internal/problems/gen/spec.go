@@ -1,0 +1,278 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+// MaxSpecCount caps the number of points a single spec may expand to;
+// larger spaces are swept in shards or as multiple specs.
+const MaxSpecCount = 100_000
+
+// maxMutantIndex caps start+count for the mutation-based families
+// (grid, hyper), whose point i costs an i-step mutation chain.
+const maxMutantIndex = 2048
+
+// Spec is a parsed -gen specification: one seed-reproducible slice of a
+// generated problem space. The grammar is a comma-separated key=value
+// list:
+//
+//	family=rand,seed=7,count=100,delta=3,labels=3,edge=50,node=60
+//	family=grid,seed=1,count=8,k=3,dims=2,wrap=1
+//	family=hyper,seed=1,count=5,delta=3,r=2
+//
+// Keys common to every family: family (required: rand | grid | hyper),
+// seed (default 1), count (default 1), start (default 0 — the index of
+// the first point, so start=K,count=1 reproduces point K of a larger
+// run exactly). Family-specific keys:
+//
+//   - rand: delta (default 3), labels (default 3), edge (default 50),
+//     node (default 50) — see Params.
+//   - grid: k (default 3), dims (default 2), wrap (0|1, default 1) —
+//     see GridColoring.
+//   - hyper: delta (default 3), r (default 1) — see
+//     FractionalOrientation.
+//
+// For rand, point i is Random(seed, start+i, params) — every index is
+// an independent draw. For grid and hyper the base problem is fixed by
+// the parameters, so point 0 is the base problem itself and point i>0
+// is Mutant(base, seed, i): a chain of seeded relax/restrict/rename
+// mutations, giving a space of problems *related* to the base.
+//
+// Parsing is strict — unknown keys, keys inapplicable to the family,
+// malformed integers, and out-of-domain values are errors, never
+// silently defaulted — because a spec is also a reproduction handle:
+// the harness prints failing points as specs, and a typo that parsed
+// would reproduce the wrong problem.
+type Spec struct {
+	// Family is the generator family: "rand", "grid" or "hyper".
+	Family string
+	// Seed is the reproduction seed shared by every point of the spec.
+	Seed int64
+	// Start is the index of the first generated point.
+	Start int
+	// Count is the number of points.
+	Count int
+	// Rand holds the rand-family parameters (zero otherwise).
+	Rand Params
+	// K is the grid-family color count (zero otherwise).
+	K int
+	// Dims is the grid-family dimensionality (zero otherwise).
+	Dims int
+	// Wrap is the grid-family torus flag.
+	Wrap bool
+	// HyperDelta is the hyper-family degree (zero otherwise).
+	HyperDelta int
+	// R is the hyper-family weight target (zero otherwise).
+	R int
+}
+
+// ParseSpec parses the -gen grammar documented on Spec.
+func ParseSpec(text string) (*Spec, error) {
+	kv := map[string]string{}
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("gen: empty key=value in spec %q", text)
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("gen: malformed %q in spec (want key=value)", part)
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("gen: duplicate key %q in spec", k)
+		}
+		kv[k] = v
+	}
+	family, ok := kv["family"]
+	if !ok {
+		return nil, fmt.Errorf("gen: spec is missing family= (rand, grid or hyper)")
+	}
+	delete(kv, "family")
+
+	s := &Spec{Family: family, Seed: 1, Count: 1}
+	intField := func(key string, dst *int, def int) error {
+		v, ok := kv[key]
+		if !ok {
+			*dst = def
+			return nil
+		}
+		delete(kv, key)
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("gen: %s=%q is not an integer", key, v)
+		}
+		*dst = n
+		return nil
+	}
+	if v, ok := kv["seed"]; ok {
+		delete(kv, "seed")
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: seed=%q is not an integer", v)
+		}
+		s.Seed = n
+	}
+	if err := intField("count", &s.Count, 1); err != nil {
+		return nil, err
+	}
+	if err := intField("start", &s.Start, 0); err != nil {
+		return nil, err
+	}
+	if s.Count < 1 || s.Count > MaxSpecCount {
+		return nil, fmt.Errorf("gen: count must be in [1, %d], got %d", MaxSpecCount, s.Count)
+	}
+	if s.Start < 0 {
+		return nil, fmt.Errorf("gen: start must be >= 0, got %d", s.Start)
+	}
+
+	var err error
+	switch family {
+	case "rand":
+		if err = intField("delta", &s.Rand.Delta, 3); err == nil {
+			if err = intField("labels", &s.Rand.Labels, 3); err == nil {
+				if err = intField("edge", &s.Rand.EdgePct, 50); err == nil {
+					err = intField("node", &s.Rand.NodePct, 50)
+				}
+			}
+		}
+		if err == nil {
+			err = s.Rand.Validate()
+		}
+	case "grid":
+		var wrap int
+		if err = intField("k", &s.K, 3); err == nil {
+			if err = intField("dims", &s.Dims, 2); err == nil {
+				err = intField("wrap", &wrap, 1)
+			}
+		}
+		if err == nil && wrap != 0 && wrap != 1 {
+			err = fmt.Errorf("gen: wrap must be 0 or 1, got %d", wrap)
+		}
+		s.Wrap = wrap == 1
+		if err == nil {
+			_, err = GridColoring(s.K, s.Dims, s.Wrap)
+		}
+	case "hyper":
+		if err = intField("delta", &s.HyperDelta, 3); err == nil {
+			err = intField("r", &s.R, 1)
+		}
+		if err == nil {
+			_, err = FractionalOrientation(s.HyperDelta, s.R)
+		}
+	default:
+		return nil, fmt.Errorf("gen: unknown family %q (want rand, grid or hyper)", family)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Mutant chains are recomputed from the base per point (O(index)
+	// each), so mutation families get a tighter index ceiling.
+	if family != "rand" && s.Start+s.Count > maxMutantIndex {
+		return nil, fmt.Errorf("gen: start+count must be <= %d for family %s, got %d", maxMutantIndex, family, s.Start+s.Count)
+	}
+	if len(kv) > 0 {
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return nil, fmt.Errorf("gen: key(s) %s not valid for family %s", strings.Join(keys, ", "), family)
+	}
+	return s, nil
+}
+
+// params renders the family-specific parameters in canonical key order
+// (without seed/start/count).
+func (s *Spec) params() string {
+	switch s.Family {
+	case "rand":
+		return s.Rand.suffix()
+	case "grid":
+		w := 0
+		if s.Wrap {
+			w = 1
+		}
+		return fmt.Sprintf("k=%d,dims=%d,wrap=%d", s.K, s.Dims, w)
+	default: // hyper
+		return fmt.Sprintf("delta=%d,r=%d", s.HyperDelta, s.R)
+	}
+}
+
+// String renders the spec canonically: parsing the result yields an
+// equal spec, and equal specs render identically.
+func (s *Spec) String() string {
+	return fmt.Sprintf("family=%s,seed=%d,start=%d,count=%d,%s", s.Family, s.Seed, s.Start, s.Count, s.params())
+}
+
+// Repro returns the single-point spec reproducing point i of this spec
+// (0 ≤ i < Count) — the exact -gen value to paste into cmd/sweep or
+// cmd/verify to regenerate one failing problem.
+func (s *Spec) Repro(i int) string {
+	return fmt.Sprintf("family=%s,seed=%d,start=%d,count=1,%s", s.Family, s.Seed, s.Start+i, s.params())
+}
+
+// PointName returns the grid-point name of point i, "gen/family/..." —
+// the full spec of that single point, so any report row names its own
+// reproduction.
+func (s *Spec) PointName(i int) string {
+	return fmt.Sprintf("gen/%s/seed=%d,%s/i=%d", s.Family, s.Seed, s.params(), s.Start+i)
+}
+
+// Point constructs point i of the spec (0 ≤ i < Count).
+func (s *Spec) Point(i int) (*core.Problem, error) {
+	if i < 0 || i >= s.Count {
+		return nil, fmt.Errorf("gen: point index %d outside [0, %d)", i, s.Count)
+	}
+	idx := s.Start + i
+	switch s.Family {
+	case "rand":
+		return Random(s.Seed, idx, s.Rand)
+	case "grid":
+		base, err := GridColoring(s.K, s.Dims, s.Wrap)
+		if err != nil {
+			return nil, err
+		}
+		if idx == 0 {
+			return base, nil
+		}
+		return Mutant(base, s.Seed, idx), nil
+	case "hyper":
+		base, err := FractionalOrientation(s.HyperDelta, s.R)
+		if err != nil {
+			return nil, err
+		}
+		if idx == 0 {
+			return base, nil
+		}
+		return Mutant(base, s.Seed, idx), nil
+	}
+	return nil, fmt.Errorf("gen: unknown family %q", s.Family)
+}
+
+// Points expands the spec into sweepable grid points. Point names embed
+// the full reproduction parameters; Family is "gen/<family>"; Delta and
+// K are filled from the generated problem and the spec so generated
+// points sort and report like catalog points.
+func (s *Spec) Points() ([]problems.GridPoint, error) {
+	pts := make([]problems.GridPoint, 0, s.Count)
+	for i := 0; i < s.Count; i++ {
+		p, err := s.Point(i)
+		if err != nil {
+			return nil, fmt.Errorf("gen: point %d (%s): %w", i, s.Repro(i), err)
+		}
+		pts = append(pts, problems.GridPoint{
+			Name:    s.PointName(i),
+			Family:  "gen/" + s.Family,
+			Delta:   p.Delta(),
+			K:       s.K,
+			Problem: p,
+		})
+	}
+	return pts, nil
+}

@@ -15,12 +15,19 @@
 //
 // Usage:
 //
-//	docgate [-readme README.md -cmds cmd] [-examples examples] ./internal/... ./tools/...
+//	docgate [-readme README.md -cmds cmd] [-examples examples]
+//	        [-require dir,dir] ./internal/... ./tools/...
 //
 // A package argument ending in /... is expanded recursively to every
 // subdirectory containing non-test Go files (testdata directories are
 // skipped, following the Go tool convention), so the gate cannot
 // silently miss a newly added package.
+//
+// -require lists directories that must be present in the expanded
+// package set. The expansion skips directories with only test files,
+// so a package a CI job depends on gating could otherwise drop out of
+// coverage without any signal; naming it in -require turns that silent
+// skip into a failure.
 //
 // Exit status is non-zero if any check fails; every violation is
 // printed as file:line: message so editors and CI logs can jump to it.
@@ -44,6 +51,7 @@ func main() {
 	readme := flag.String("readme", "", "README file whose Commands table must match -cmds (empty = skip)")
 	cmds := flag.String("cmds", "", "directory of command packages to check against -readme")
 	examples := flag.String("examples", "", "directory of example programs that must carry package docs (empty = skip)")
+	require := flag.String("require", "", "comma-separated directories the expanded package set must contain (empty = skip)")
 	flag.Parse()
 
 	dirs, err := expandPatterns(flag.Args())
@@ -52,6 +60,22 @@ func main() {
 		os.Exit(2)
 	}
 	bad := 0
+	if *require != "" {
+		have := map[string]bool{}
+		for _, dir := range dirs {
+			have[filepath.Clean(dir)] = true
+		}
+		for _, r := range strings.Split(*require, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			if !have[filepath.Clean(r)] {
+				fmt.Printf("%s: required package is not covered by the gate's package arguments\n", r)
+				bad++
+			}
+		}
+	}
 	for _, dir := range dirs {
 		violations, err := checkPackageDir(dir)
 		if err != nil {
